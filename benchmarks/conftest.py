@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run against a mid-size replica (scale 0.05 ≈ 92 nodes, ~2,900
+VMs, 30 days at 1800 s sampling).  The dataset is generated once per
+session; each benchmark times its analysis and asserts the paper's *shape*
+(orderings, thresholds, crossovers) — absolute values depend on the
+synthetic substrate and are not checked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import GeneratorConfig, generate_dataset
+
+BENCH_CONFIG = GeneratorConfig(
+    scale=0.05,
+    sampling_seconds=1800,
+    vm_series_limit=50,
+    seed=20240731,
+)
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The shared benchmark dataset (generated once)."""
+    return generate_dataset(BENCH_CONFIG)

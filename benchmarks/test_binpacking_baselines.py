@@ -1,0 +1,104 @@
+"""Section 3.2 baselines: First/Best/Worst/Next-Fit and FFD/BFD.
+
+Paper shape: the classic bin-packing hierarchy on a realistic flavor mix —
+decreasing-order variants use no more bins than their online forms, which
+beat Worst-Fit and Next-Fit; spread placement (the Nova default for
+general workloads) trades fragmentation for balance.
+"""
+
+import numpy as np
+
+from repro.baselines.binpacking import (
+    Item,
+    best_fit,
+    best_fit_decreasing,
+    first_fit,
+    first_fit_decreasing,
+    next_fit,
+    worst_fit,
+)
+from repro.baselines.evaluation import evaluate_packing
+from repro.baselines.spread import spread_pack
+from repro.datagen.population import FLAVOR_MIX
+from repro.infrastructure.flavors import default_catalog
+from repro.infrastructure.topology import DEFAULT_NODE
+
+ALGOS = {
+    "first_fit": first_fit,
+    "best_fit": best_fit,
+    "worst_fit": worst_fit,
+    "next_fit": next_fit,
+    "ffd": first_fit_decreasing,
+    "bfd": best_fit_decreasing,
+}
+
+
+def _items(n=800, seed=9):
+    catalog = default_catalog()
+    rng = np.random.default_rng(seed)
+    names = [name for name, w in FLAVOR_MIX if w > 0]
+    weights = np.asarray([w for _, w in FLAVOR_MIX if w > 0])
+    weights = weights / weights.sum()
+    picks = rng.choice(len(names), size=n, p=weights)
+    items = []
+    for i, p in enumerate(picks):
+        flavor = catalog.get(names[int(p)])
+        if flavor.ram_gib > 2048:
+            continue  # larger than one general-purpose node
+        items.append(Item(f"i{i:04d}", flavor.requested()))
+    return items
+
+
+def test_binpacking_baselines(benchmark):
+    items = _items()
+
+    def run_all():
+        return {
+            name: evaluate_packing(algo(items, DEFAULT_NODE))
+            for name, algo in ALGOS.items()
+        }
+
+    metrics = benchmark.pedantic(run_all, rounds=2, iterations=1)
+
+    bins = {name: m.bins_used for name, m in metrics.items()}
+    # Classic hierarchy: offline (decreasing) <= online <= worst/next fit.
+    assert bins["ffd"] <= bins["first_fit"]
+    assert bins["bfd"] <= bins["best_fit"]
+    assert bins["first_fit"] <= bins["next_fit"]
+    assert bins["best_fit"] <= bins["worst_fit"]
+    # Every heuristic placed everything and stayed near the lower bound.
+    for name, m in metrics.items():
+        assert m.items_unplaced == 0, name
+        assert m.efficiency > 0.5, name
+    assert metrics["ffd"].efficiency > 0.85
+
+    print("\n[pack1] bins used (lower bound "
+          f"{metrics['ffd'].lower_bound}):")
+    for name in ("ffd", "bfd", "first_fit", "best_fit", "worst_fit", "next_fit"):
+        m = metrics[name]
+        print(f"  {name:<10} {m.bins_used:>4} bins, mean fill "
+              f"{m.mean_fill * 100:5.1f}%, fragmentation {m.fragmentation:.3f}")
+
+
+def test_spread_vs_pack_tradeoff(benchmark):
+    """The Nova-default spread strategy: balanced fill, more fragmentation."""
+    items = _items(n=500, seed=10)
+    packed = evaluate_packing(first_fit_decreasing(items, DEFAULT_NODE))
+    bin_count = packed.bins_used * 3  # a powered-on fleet
+
+    spread_metrics = benchmark.pedantic(
+        lambda: evaluate_packing(spread_pack(items, bin_count, DEFAULT_NODE)),
+        rounds=2,
+        iterations=1,
+    )
+
+    # Spread keeps every bin far from saturation (headroom for demand
+    # fluctuation) but activates more bins and strands capacity.
+    assert spread_metrics.mean_fill < 0.6
+    assert packed.mean_fill > 0.9
+    assert spread_metrics.bins_used > packed.bins_used
+    assert spread_metrics.fragmentation > packed.fragmentation
+    print(f"\n[pack1/spread] pack: {packed.bins_used} bins "
+          f"(mean fill {packed.mean_fill:.2f}); spread: "
+          f"{spread_metrics.bins_used} bins (mean fill "
+          f"{spread_metrics.mean_fill:.2f})")

@@ -1,0 +1,30 @@
+"""Figure 5: daily average free CPU per compute node within one DC.
+
+Paper shape: on the same day some nodes run with <20% free CPU while
+others keep >90% free; a subset stays consistently hot across the month
+(imbalanced workload distribution within the data center).
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig5_dc_cpu_heatmap
+
+
+def test_fig5_cpu_heatmap(benchmark, dataset):
+    heatmap = benchmark(fig5_dc_cpu_heatmap, dataset)
+
+    assert heatmap.shape[0] == 30  # one row per day
+    # Wide same-fleet spread: hot nodes below 25% free, idle ones above 90%.
+    assert np.nanmin(heatmap.matrix) < 25.0
+    assert np.nanmax(heatmap.matrix) > 90.0
+    assert heatmap.spread() > 40.0
+    # Consistency over time: the most loaded column stays loaded — its
+    # free-CPU never rises into the idle band.
+    hottest = heatmap.matrix[:, -1]
+    assert np.nanmax(hottest) < 70.0
+
+    print("\n[fig5] free CPU per node, one DC "
+          f"({heatmap.shape[1]} nodes x {heatmap.shape[0]} days)")
+    print(f"  column means: min {np.nanmin(heatmap.column_means()):.1f}% "
+          f"max {np.nanmax(heatmap.column_means()):.1f}% "
+          f"spread {heatmap.spread():.1f} pp")

@@ -1,0 +1,25 @@
+"""Figure 6: daily average free CPU per building block within one DC.
+
+Paper shape: building blocks differ visibly in utilisation (inter-BB
+imbalance that requires manual rebalancing, §3.1/§7).
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig6_bb_cpu_heatmap
+from repro.core.imbalance import inter_bb_imbalance
+
+
+def test_fig6_bb_cpu_heatmap(benchmark, dataset):
+    heatmap = benchmark(fig6_bb_cpu_heatmap, dataset)
+
+    assert heatmap.level == "building_block"
+    assert heatmap.shape[0] == 30
+    assert heatmap.shape[1] >= 2
+    # BBs differ in mean utilisation.
+    assert heatmap.spread() > 5.0
+    assert inter_bb_imbalance(dataset) > 1.0
+
+    print(f"\n[fig6] free CPU per BB ({heatmap.shape[1]} BBs): "
+          f"spread {heatmap.spread():.1f} pp, "
+          f"inter-BB std {inter_bb_imbalance(dataset):.1f} pp")

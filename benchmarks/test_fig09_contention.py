@@ -1,0 +1,38 @@
+"""Figure 9: aggregated CPU contention over all nodes of the region.
+
+Paper shape: daily mean and 95th percentile stay below the 5% mark while
+per-node maxima range between 10% and 30%, and several nodes exceed the
+40% severe level — persistent, non-seasonal contention on a small subset
+of the fleet.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig9_contention_aggregate
+from repro.core.contention import contention_summary
+
+
+def test_fig9_contention(benchmark, dataset):
+    stats = benchmark(fig9_contention_aggregate, dataset)
+
+    assert len(stats) == 30
+    # Fleet-level mean and p95 low.
+    assert float(np.max(stats["mean"])) < 5.0
+    assert float(np.max(stats["p95"])) < 5.0
+    # Maxima show the 10-30% band and the >40% outliers.
+    daily_max = np.asarray(stats["max"], dtype=float)
+    assert np.median(daily_max) > 10.0
+    assert daily_max.max() > 40.0
+
+    summary = contention_summary(dataset)
+    assert summary.nodes_above_strict >= 3  # several nodes beyond 10%
+    assert summary.nodes_above_severe >= 1  # outliers beyond 40%
+    # Contention is confined to a small part of the fleet.
+    assert summary.nodes_above_strict / summary.node_count < 0.25
+
+    print(f"\n[fig9] contention: worst daily mean "
+          f"{float(np.max(stats['mean'])):.2f}%, worst p95 "
+          f"{float(np.max(stats['p95'])):.2f}%, overall max "
+          f"{summary.overall_max:.1f}%, nodes >10/30/40%: "
+          f"{summary.nodes_above_strict}/{summary.nodes_above_moderate}/"
+          f"{summary.nodes_above_severe} of {summary.node_count}")

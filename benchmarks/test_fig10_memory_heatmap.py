@@ -1,0 +1,31 @@
+"""Figure 10: daily average free memory per node within one DC.
+
+Paper shape: bimodal — a group of nodes with ample free memory next to a
+comparable group below 20% free (bin-packed HANA hosts), with occasional
+abrupt purple→yellow shifts caused by migrations/terminations.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig10_memory_heatmap
+
+
+def test_fig10_memory_heatmap(benchmark, dataset):
+    heatmap = benchmark(fig10_memory_heatmap, dataset)
+
+    means = heatmap.column_means()
+    finite = means[np.isfinite(means)]
+    # Both modes present: nearly-full nodes and mostly-free nodes.
+    nearly_full = float(np.mean(finite < 25.0))
+    mostly_free = float(np.mean(finite > 60.0))
+    assert nearly_full >= 0.05
+    assert mostly_free >= 0.30
+
+    # Abrupt shifts: at least one node changes day-over-day free memory by
+    # more than 20 pp (migration / termination of a large VM).
+    day_deltas = np.abs(np.diff(heatmap.matrix, axis=0))
+    assert np.nanmax(day_deltas) > 20.0
+
+    print(f"\n[fig10] free memory: {nearly_full * 100:.0f}% of nodes <25% free, "
+          f"{mostly_free * 100:.0f}% >60% free, "
+          f"max day-over-day shift {np.nanmax(day_deltas):.0f} pp")

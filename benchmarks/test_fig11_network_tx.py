@@ -1,0 +1,22 @@
+"""Figure 11: daily average free network TX bandwidth per node.
+
+Paper shape: load is notably below the 200 Gbps NIC capacity everywhere —
+network resources are currently irrelevant to scheduling decisions (§5.3).
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig11_network_tx_heatmap
+
+
+def test_fig11_network_tx(benchmark, dataset):
+    heatmap = benchmark(fig11_network_tx_heatmap, dataset)
+
+    means = heatmap.column_means()
+    # Every node keeps the overwhelming majority of its NIC free.
+    assert np.nanmin(means) > 90.0
+    assert np.nanmin(heatmap.matrix) > 85.0
+
+    print(f"\n[fig11] free TX bandwidth: min column mean "
+          f"{np.nanmin(means):.1f}%, min cell {np.nanmin(heatmap.matrix):.1f}% "
+          f"(200 Gbps NICs)")

@@ -1,0 +1,19 @@
+"""Figure 12: daily average free network RX bandwidth per node.
+
+Paper shape: like TX, received traffic stays far below NIC capacity.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig12_network_rx_heatmap
+
+
+def test_fig12_network_rx(benchmark, dataset):
+    heatmap = benchmark(fig12_network_rx_heatmap, dataset)
+
+    means = heatmap.column_means()
+    assert np.nanmin(means) > 90.0
+    assert np.nanmin(heatmap.matrix) > 85.0
+
+    print(f"\n[fig12] free RX bandwidth: min column mean "
+          f"{np.nanmin(means):.1f}%, min cell {np.nanmin(heatmap.matrix):.1f}%")

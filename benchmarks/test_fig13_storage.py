@@ -1,0 +1,27 @@
+"""Figure 13: daily average free local storage per host.
+
+Paper shape: uneven distribution — roughly 18% of hosts keep more than 90%
+free storage while about 7% use more than 30%; local storage is currently
+ignored by scheduling (§5.4).
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig13_storage_heatmap
+
+
+def test_fig13_storage(benchmark, dataset):
+    heatmap = benchmark(fig13_storage_heatmap, dataset)
+
+    means = heatmap.column_means()
+    finite = means[np.isfinite(means)]
+    share_mostly_free = float(np.mean(finite > 90.0))
+    share_heavily_used = float(np.mean(finite < 70.0))
+    assert abs(share_mostly_free - 0.18) < 0.12
+    assert abs(share_heavily_used - 0.07) < 0.08
+    # The distribution is genuinely uneven, not uniform.
+    assert finite.max() - finite.min() > 30.0
+
+    print(f"\n[fig13] free storage: {share_mostly_free * 100:.0f}% of hosts "
+          f">90% free (paper: 18%), {share_heavily_used * 100:.0f}% using "
+          f">30% (paper: 7%)")

@@ -1,0 +1,45 @@
+"""Figure 15: average VM lifetime per flavor (vCPU × RAM classes).
+
+Paper shape: lifetimes span minutes to multiple years; memory-intensive
+flavors exhibit significant lifetimes (stable long-term deployments); the
+variation within each class is large and size does not predict lifetime.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig15_lifetime_per_flavor
+from repro.core.characterization import lifetime_size_correlation
+
+DAY = 86_400.0
+
+
+def test_fig15_lifetime(benchmark, dataset):
+    table = benchmark(fig15_lifetime_per_flavor, dataset)
+
+    # Only flavors with >= 30 instances, as in the paper.
+    assert np.all(np.asarray(table["vm_count"], dtype=float) >= 30)
+    assert len(table) >= 5
+
+    lifetimes = np.asarray(dataset.vms["lifetime_seconds"], dtype=float)
+    assert lifetimes.min() < 3600 * 6  # sub-day VMs exist
+    assert lifetimes.max() > 365 * DAY  # multi-year VMs exist
+
+    # Memory-intensive (HANA) flavors skew long-lived.
+    means = np.asarray(table["mean_lifetime_s"], dtype=float)
+    is_hana = np.asarray(
+        [str(f).startswith("h_") for f in table["flavor"]]
+    )
+    if is_hana.any() and (~is_hana).any():
+        assert means[is_hana].mean() > means[~is_hana].mean()
+
+    # Weak size -> lifetime relation.
+    assert abs(lifetime_size_correlation(dataset)) < 0.35
+    # Wide within-class variation: per-flavor min/max differ by >100x.
+    ratios = np.asarray(table["max_lifetime_s"], dtype=float) / np.maximum(
+        np.asarray(table["min_lifetime_s"], dtype=float), 1.0
+    )
+    assert np.median(ratios) > 100.0
+
+    print(f"\n[fig15] {len(table)} flavors >=30 VMs; lifetimes "
+          f"{lifetimes.min() / 60:.0f} min .. {lifetimes.max() / DAY / 365:.1f} y; "
+          f"size<->log-lifetime corr {lifetime_size_correlation(dataset):+.2f}")

@@ -1,0 +1,26 @@
+"""Table 1: VM classification by vCPU count.
+
+Paper: small 28,446 / medium 14,340 / large 1,831 / xlarge 738 — a strict
+small > medium > large > xlarge ordering with ~63% of VMs at ≤4 vCPUs.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import table1_vcpu_classes
+
+
+def test_table1_vcpu_classes(benchmark, dataset):
+    table = benchmark(table1_vcpu_classes, dataset)
+
+    counts = dict(zip(table["category"], np.asarray(table["vm_count"], dtype=int)))
+    shares = dict(zip(table["category"], np.asarray(table["share"], dtype=float)))
+    paper = dict(zip(table["category"], np.asarray(table["paper_share"], dtype=float)))
+
+    assert counts["small"] > counts["medium"] > counts["large"] > counts["xlarge"]
+    for category in ("small", "medium", "large", "xlarge"):
+        assert abs(shares[category] - paper[category]) < 0.05, category
+
+    print("\n[table1] vCPU classes (measured share vs paper share):")
+    for category in ("small", "medium", "large", "xlarge"):
+        print(f"  {category:<7} {counts[category]:>6}  "
+              f"{shares[category] * 100:5.1f}% vs {paper[category] * 100:5.1f}%")

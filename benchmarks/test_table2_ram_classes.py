@@ -1,0 +1,29 @@
+"""Table 2: VM classification by memory size.
+
+Paper: small 991 / medium 41,395 / large 787 / xlarge 2,184 — the 2-64 GiB
+class dominates (~91%) and, notably, xlarge (>128 GiB, HANA) outnumbers
+both small and large.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import table2_ram_classes
+
+
+def test_table2_ram_classes(benchmark, dataset):
+    table = benchmark(table2_ram_classes, dataset)
+
+    counts = dict(zip(table["category"], np.asarray(table["vm_count"], dtype=int)))
+    shares = dict(zip(table["category"], np.asarray(table["share"], dtype=float)))
+    paper = dict(zip(table["category"], np.asarray(table["paper_share"], dtype=float)))
+
+    assert shares["medium"] > 0.80
+    assert counts["xlarge"] > counts["large"]
+    assert counts["xlarge"] > counts["small"]
+    for category in ("small", "medium", "large", "xlarge"):
+        assert abs(shares[category] - paper[category]) < 0.05, category
+
+    print("\n[table2] RAM classes (measured share vs paper share):")
+    for category in ("small", "medium", "large", "xlarge"):
+        print(f"  {category:<7} {counts[category]:>6}  "
+              f"{shares[category] * 100:5.1f}% vs {paper[category] * 100:5.1f}%")

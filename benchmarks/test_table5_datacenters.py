@@ -1,0 +1,40 @@
+"""Table 5 / Figure 4: hypervisors and VMs per data center (Appendix D).
+
+Shape: 29 data centers, 22-1,072 hypervisors each, summing to the >6,000
+hypervisors of §3 (the table's VM column is a snapshot summing to ~162k of
+the >200k active fleet); the topology builder reconstructs a region of the
+studied size from these counts.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import table5_datacenters
+from repro.infrastructure.topology import build_region, paper_region_spec
+
+
+def test_table5_datacenters(benchmark):
+    table = benchmark(table5_datacenters)
+
+    hypervisors = np.asarray(table["hypervisors"], dtype=int)
+    vms = np.asarray(table["virtual_machines"], dtype=int)
+    assert len(table) == 29
+    assert hypervisors.min() == 22
+    assert hypervisors.max() == 1072
+    assert hypervisors.sum() > 6000
+    assert vms.sum() > 150_000
+
+    print(f"\n[table5] 29 DCs, {hypervisors.sum():,} hypervisors, "
+          f"{vms.sum():,} VMs fleet-wide")
+
+
+def test_table5_topology_reconstruction(benchmark):
+    """The studied region (region 9, ~1,800 nodes) rebuilds from Table 5."""
+    region = benchmark.pedantic(
+        lambda: build_region(paper_region_spec(scale=1.0)), rounds=1, iterations=1
+    )
+    assert 1700 <= region.node_count <= 1900
+    bb_sizes = [bb.node_count for bb in region.iter_building_blocks()]
+    assert min(bb_sizes) >= 2
+    assert max(bb_sizes) <= 128
+    print(f"\n[table5] reconstructed region: {region.node_count} nodes in "
+          f"{len(bb_sizes)} building blocks (sizes {min(bb_sizes)}-{max(bb_sizes)})")

@@ -1,0 +1,73 @@
+"""Contention deep-dive: reproduce the §5.1 analysis on a generated region.
+
+Finds the noisiest hypervisors, quantifies CPU ready time against the 30 s
+baseline, classifies nodes against the 10%/30%/40% contention thresholds,
+and checks the weekday/weekend temporal effect.
+
+Run:  python examples/contention_analysis.py
+"""
+
+import numpy as np
+
+from repro.core.contention import (
+    READY_BASELINE_MS,
+    contention_summary,
+    contention_daily_stats,
+    ready_baseline_exceedances,
+    top_ready_time_nodes,
+    weekday_weekend_effect,
+)
+from repro.core.noisy_neighbors import blast_radius, victim_exposures
+from repro.datagen import GeneratorConfig, generate_dataset
+
+
+def main() -> None:
+    dataset = generate_dataset(GeneratorConfig(scale=0.03, sampling_seconds=1800))
+    print(f"Region: {dataset.node_count} nodes, {dataset.vm_count} VMs, 30 days\n")
+
+    # Fig 8: the ten nodes with the highest CPU ready time.
+    print("Top nodes by CPU ready time (peak per sampling window):")
+    for node_id, series in top_ready_time_nodes(dataset, n=5):
+        print(f"  {node_id:<40} peak {series.max() / 1000:7.1f} s   "
+              f"mean {series.mean() / 1000:6.1f} s")
+
+    exceed = ready_baseline_exceedances(dataset)
+    print(f"\n{len(exceed)} nodes exceeded the "
+          f"{READY_BASELINE_MS / 1000:.0f} s ready-time baseline; "
+          f"worst did so in {int(np.asarray(exceed['exceedances'])[0])} windows.")
+
+    weekday, weekend = weekday_weekend_effect(dataset)
+    print(f"Temporal effect: weekday mean ready {weekday / 1000:.1f} s vs "
+          f"weekend {weekend / 1000:.1f} s.\n")
+
+    # Fig 9: fleet-level contention.
+    stats = contention_daily_stats(dataset)
+    summary = contention_summary(dataset)
+    print("CPU contention across the fleet:")
+    print(f"  worst daily mean {float(np.max(stats['mean'])):.2f}%  "
+          f"(paper: below 5%)")
+    print(f"  worst daily p95  {float(np.max(stats['p95'])):.2f}%  "
+          f"(paper: below 5%)")
+    print(f"  overall maximum  {summary.overall_max:.1f}%")
+    print(f"  nodes above 10% / 30% / 40% thresholds: "
+          f"{summary.nodes_above_strict} / {summary.nodes_above_moderate} / "
+          f"{summary.nodes_above_severe} of {summary.node_count}")
+
+    # Noisy neighbours (§3.2): who actually suffers?
+    radius = blast_radius(dataset)
+    victims = victim_exposures(dataset)
+    print(f"\nNoisy-neighbour blast radius: {radius['affected_vms']} VMs "
+          f"({radius['affected_vm_share']:.1%} of the population) on "
+          f"{radius['affected_nodes']} contended nodes.")
+    for e in victims[:3]:
+        print(f"  {e.vm_id:<12} exposed {e.exposed_share:.0%} of its samples "
+              f"(mean contention {e.mean_contention_when_exposed:.0f}%)")
+
+    share = summary.nodes_above_strict / summary.node_count
+    print(f"\nInterpretation: contention is persistent but confined to "
+          f"{share:.1%} of the fleet — the paper's argument for "
+          f"contention-aware placement instead of fleet-wide overcommit cuts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Right-sizing and overcommit guidance (§7) on a generated region.
+
+Produces the two §7 recommendations: a workload-derived CPU overcommit
+factor per scope, and per-VM right-sizing proposals with the reclaimable
+capacity they unlock.
+
+Run:  python examples/rightsizing_report.py
+"""
+
+from repro.core.guidance import (
+    assess_overcommit,
+    rightsizing_recommendations,
+    rightsizing_summary,
+)
+from repro.datagen import GeneratorConfig, generate_dataset
+
+
+def main() -> None:
+    dataset = generate_dataset(GeneratorConfig(scale=0.03, sampling_seconds=1800))
+    print(f"Region: {dataset.node_count} nodes, {dataset.vm_count} VMs\n")
+
+    # Guidance 1: reconsider the overcommit factor (vCPU:pCPU ratio).
+    regional = assess_overcommit(dataset)
+    print("Workload-derived CPU overcommit assessment (region):")
+    print(f"  allocated vCPUs          {regional.allocated_vcpus:,.0f}")
+    print(f"  physical cores           {regional.physical_cores:,.0f}")
+    print(f"  current vCPU:pCPU ratio  {regional.current_ratio:.2f}")
+    print(f"  peak demand              {regional.peak_demand_cores:,.0f} cores")
+    print(f"  demand-supported ratio   {regional.supportable_ratio:.2f} "
+          f"(p95-based: {regional.supportable_ratio_p95:.2f})")
+    print(f"  headroom                 {regional.headroom:.1f}x\n")
+
+    print("Per-building-block ratios (5 most constrained):")
+    assessments = [
+        assess_overcommit(dataset, bb_id=bb) for bb in dataset.building_blocks()
+    ]
+    assessments.sort(key=lambda a: a.headroom)
+    for a in assessments[:5]:
+        print(f"  {a.scope:<28} current {a.current_ratio:5.2f}  "
+              f"supportable {a.supportable_ratio:6.2f}  "
+              f"headroom {a.headroom:5.1f}x")
+
+    # Guidance 2: qualified right-sizing.
+    recs = rightsizing_recommendations(dataset)
+    summary = rightsizing_summary(dataset)
+    print(f"\nRight-sizing: {len(recs)} proposals "
+          f"(underutilised VMs, >=25% saving).  Top 5 by saving:")
+    for rec in recs[:5]:
+        unit = "vCPUs" if rec.resource == "cpu" else "GiB"
+        print(f"  {rec.vm_id:<12} {rec.flavor:<16} {rec.resource:<6} "
+              f"{rec.current:7.0f} -> {rec.recommended:5.0f} {unit:<6} "
+              f"(avg use {rec.avg_utilization:.0%})")
+
+    print("\nAggregate reclaimable capacity:")
+    for row in summary.rows():
+        unit = "vCPUs" if row["resource"] == "cpu" else "GiB"
+        print(f"  {row['resource']:<7} {row['vms_affected']:>6} VMs, "
+              f"{row['current_total'] - row['recommended_total']:,.0f} {unit} "
+              f"({row['reclaimable_fraction']:.0%} of their allocation)")
+
+
+if __name__ == "__main__":
+    main()

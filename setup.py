@@ -1,0 +1,16 @@
+"""Legacy setup shim for environments with an old setuptools and no wheel."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'The SAP Cloud Infrastructure Dataset' (IMC 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

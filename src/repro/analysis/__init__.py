@@ -1,0 +1,49 @@
+"""Figure and table builders: one function per artifact of the paper.
+
+Each ``figN`` / ``tableN`` function consumes a
+:class:`~repro.core.dataset.SAPCloudDataset` and returns plain data
+structures (frames, arrays, dicts) carrying exactly the rows/series the
+paper plots — the benchmark harness renders and checks them.
+"""
+
+from repro.analysis.figures import (
+    fig5_dc_cpu_heatmap,
+    fig6_bb_cpu_heatmap,
+    fig7_intra_bb_cpu_heatmap,
+    fig8_top_ready_nodes,
+    fig9_contention_aggregate,
+    fig10_memory_heatmap,
+    fig11_network_tx_heatmap,
+    fig12_network_rx_heatmap,
+    fig13_storage_heatmap,
+    fig14_utilization_cdfs,
+    fig15_lifetime_per_flavor,
+)
+from repro.analysis.tables import (
+    table1_vcpu_classes,
+    table2_ram_classes,
+    table3_dataset_comparison,
+    table4_metric_catalog,
+    table5_datacenters,
+)
+from repro.analysis.report import render_experiments_report
+
+__all__ = [
+    "fig5_dc_cpu_heatmap",
+    "fig6_bb_cpu_heatmap",
+    "fig7_intra_bb_cpu_heatmap",
+    "fig8_top_ready_nodes",
+    "fig9_contention_aggregate",
+    "fig10_memory_heatmap",
+    "fig11_network_tx_heatmap",
+    "fig12_network_rx_heatmap",
+    "fig13_storage_heatmap",
+    "fig14_utilization_cdfs",
+    "fig15_lifetime_per_flavor",
+    "table1_vcpu_classes",
+    "table2_ram_classes",
+    "table3_dataset_comparison",
+    "table4_metric_catalog",
+    "table5_datacenters",
+    "render_experiments_report",
+]

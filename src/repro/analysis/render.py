@@ -1,0 +1,97 @@
+"""Text rendering of the paper's figure types.
+
+Terminal-friendly renderers so the CLI and examples can *show* the
+heatmaps and CDFs rather than only compute them: Unicode shade blocks for
+heatmaps (darker = more utilised, mirroring the paper's colour ramp,
+``·`` for missing cells) and fixed-width sparkline CDFs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.heatmaps import HeatmapResult
+
+#: Shade ramp from free (light) to fully utilised (dark).
+_SHADES = " ░▒▓█"
+
+
+def render_heatmap(
+    heatmap: HeatmapResult, max_columns: int = 100, max_rows: int = 31
+) -> str:
+    """ASCII art of a free-resource heatmap.
+
+    Rows are days (top = first day), columns the heatmap's columns
+    (most-free leftmost, as in the paper).  Cells shade by *utilisation*
+    (100 - free%).  Wide matrices are column-subsampled.
+    """
+    matrix = heatmap.matrix
+    columns = heatmap.columns
+    if matrix.shape[1] > max_columns:
+        picks = np.linspace(0, matrix.shape[1] - 1, max_columns).astype(int)
+        matrix = matrix[:, picks]
+        columns = [columns[i] for i in picks]
+    if matrix.shape[0] > max_rows:
+        picks = np.linspace(0, matrix.shape[0] - 1, max_rows).astype(int)
+        matrix = matrix[picks]
+
+    lines = [
+        f"{heatmap.resource} — free % per {heatmap.level} "
+        f"({len(columns)} columns x {matrix.shape[0]} days; "
+        f"dark = utilised, '·' = no data)"
+    ]
+    for row in matrix:
+        cells = []
+        for value in row:
+            if not np.isfinite(value):
+                cells.append("·")
+                continue
+            used = 1.0 - value / 100.0
+            index = min(len(_SHADES) - 1, int(used * len(_SHADES)))
+            cells.append(_SHADES[index])
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def render_cdf(
+    values: np.ndarray,
+    fractions: np.ndarray,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Fixed-grid plot of an empirical CDF (x = value, y = fraction)."""
+    if len(values) == 0:
+        return f"{title} (empty)"
+    lo, hi = float(values[0]), float(values[-1])
+    span = hi - lo if hi > lo else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for v, f in zip(values, fractions):
+        x = min(width - 1, int((v - lo) / span * (width - 1)))
+        y = min(height - 1, int((1.0 - f) * (height - 1)))
+        grid[y][x] = "•"
+    lines = [title] if title else []
+    for i, row in enumerate(grid):
+        fraction = 1.0 - i / (height - 1)
+        lines.append(f"{fraction:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:<10.3g}{'':^{max(0, width - 20)}}{hi:>10.3g}")
+    return "\n".join(lines)
+
+
+def render_series_sparkline(values: np.ndarray, width: int = 72) -> str:
+    """One-line sparkline of a series (resampled to ``width`` buckets)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    arr = np.asarray(values, dtype=float)
+    if len(arr) == 0:
+        return ""
+    if len(arr) > width:
+        edges = np.linspace(0, len(arr), width + 1).astype(int)
+        arr = np.asarray(
+            [arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    lo, hi = arr.min(), arr.max()
+    span = hi - lo if hi > lo else 1.0
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - lo) / span * len(blocks)))] for v in arr
+    )

@@ -1,0 +1,161 @@
+"""Textual experiment report: paper-vs-measured for every figure and table.
+
+:func:`render_experiments_report` runs every analysis against a dataset and
+renders a markdown report in the format of EXPERIMENTS.md, so the record of
+reproduced shapes regenerates from one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import figures, tables
+from repro.core.cdf import cdf_at
+from repro.core.characterization import (
+    lifetime_size_correlation,
+    utilization_breakdown,
+)
+from repro.core.contention import contention_threshold_report, weekday_weekend_effect
+from repro.core.dataset import SAPCloudDataset
+from repro.frame import Frame
+
+
+def _frame_to_markdown(frame: Frame, max_rows: int = 12) -> str:
+    names = frame.names
+    lines = ["| " + " | ".join(names) + " |", "|" + "---|" * len(names)]
+    for i in range(min(len(frame), max_rows)):
+        row = frame.row(i)
+        cells = []
+        for name in names:
+            value = row[name]
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}")
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    if len(frame) > max_rows:
+        lines.append(f"| … ({len(frame) - max_rows} more rows) |")
+    return "\n".join(lines)
+
+
+def render_experiments_report(dataset: SAPCloudDataset) -> str:
+    """Full paper-vs-measured markdown report for one dataset."""
+    parts: list[str] = ["# Experiment report (generated)", ""]
+    summary = dataset.summary()
+    parts.append(
+        f"Dataset: {summary['nodes']} nodes, {summary['vms']} VMs, "
+        f"{summary['building_blocks']} building blocks, "
+        f"{summary['datacenters']} DCs, {summary['window_days']:.0f} days, "
+        f"{summary['samples']:,} samples."
+    )
+    parts.append("")
+
+    # Figs 5-7: CPU heatmaps.
+    fig5 = figures.fig5_dc_cpu_heatmap(dataset)
+    parts.append("## Fig 5 — free CPU per node (one DC)")
+    parts.append(
+        f"Paper: nodes span <20% to >90% free CPU on the same day. "
+        f"Measured column-mean free CPU: min {np.nanmin(fig5.column_means()):.1f}%, "
+        f"max {np.nanmax(fig5.column_means()):.1f}%, spread {fig5.spread():.1f} pp."
+    )
+    fig6 = figures.fig6_bb_cpu_heatmap(dataset)
+    parts.append("## Fig 6 — free CPU per building block")
+    parts.append(
+        f"Measured BB-level spread {fig6.spread():.1f} pp across "
+        f"{len(fig6.columns)} BBs."
+    )
+    fig7 = figures.fig7_intra_bb_cpu_heatmap(dataset)
+    used_max = 100.0 - np.nanmin(fig7.column_means())
+    parts.append("## Fig 7 — free CPU per node within one BB")
+    parts.append(
+        f"Paper: intra-BB max CPU utilisation up to 99%. Measured max "
+        f"node utilisation inside the most imbalanced BB: {used_max:.1f}%."
+    )
+
+    # Figs 8-9: ready time and contention.
+    fig8 = figures.fig8_top_ready_nodes(dataset)
+    peak_s = float(np.max(np.asarray(fig8["ready_ms"], dtype=float))) / 1000.0
+    weekday, weekend = weekday_weekend_effect(dataset)
+    parts.append("## Fig 8 — top-10 CPU ready time")
+    parts.append(
+        f"Paper: spikes up to ~220 s, outliers ~30 min, weekday > weekend. "
+        f"Measured peak {peak_s:.0f} s; weekday mean {weekday / 1000:.1f} s vs "
+        f"weekend mean {weekend / 1000:.1f} s."
+    )
+    report = contention_threshold_report(dataset)
+    parts.append("## Fig 9 — CPU contention aggregate")
+    parts.append(
+        f"Paper: daily mean & p95 below 5%, node maxima 10–30%, outliers "
+        f">40%. Measured: worst daily mean {report['daily_mean_max_pct']:.2f}%, "
+        f"overall max {report['overall_max_pct']:.1f}%, "
+        f"{report['share_nodes_above_40pct'] * 100:.2f}% of nodes above 40%."
+    )
+
+    # Figs 10-13: memory / network / storage heatmaps.
+    fig10 = figures.fig10_memory_heatmap(dataset)
+    means10 = fig10.column_means()
+    parts.append("## Fig 10 — free memory per node")
+    parts.append(
+        f"Paper: bimodal — nearly-full HANA hosts next to mostly-free ones. "
+        f"Measured: {float(np.mean(means10 < 20)) * 100:.0f}% of nodes under "
+        f"20% free, {float(np.mean(means10 > 60)) * 100:.0f}% above 60% free."
+    )
+    fig11 = figures.fig11_network_tx_heatmap(dataset)
+    fig12 = figures.fig12_network_rx_heatmap(dataset)
+    parts.append("## Figs 11-12 — network TX/RX")
+    parts.append(
+        f"Paper: load notably below the 200 Gbps NIC capacity. Measured "
+        f"min free TX {np.nanmin(fig11.column_means()):.1f}%, "
+        f"min free RX {np.nanmin(fig12.column_means()):.1f}%."
+    )
+    fig13 = figures.fig13_storage_heatmap(dataset)
+    means13 = fig13.column_means()
+    parts.append("## Fig 13 — free storage per host")
+    parts.append(
+        f"Paper: 18% of hosts >90% free, 7% using >30%. Measured: "
+        f"{float(np.mean(means13 > 90)) * 100:.1f}% of hosts >90% free, "
+        f"{float(np.mean(means13 < 70)) * 100:.1f}% using >30%."
+    )
+
+    # Fig 14: utilisation CDFs.
+    cdfs = figures.fig14_utilization_cdfs(dataset)
+    cpu_vals = cdfs["cpu"][0]
+    mem_breakdown = utilization_breakdown(dataset, "memory")
+    parts.append("## Fig 14 — VM utilisation CDFs")
+    parts.append(
+        f"Paper: >80% of VMs below 70% CPU; memory ≈38% under / ≈10% optimal "
+        f"/ rest above 85%. Measured: {cdf_at(cpu_vals, 0.70) * 100:.1f}% of "
+        f"VMs below 70% CPU; memory {mem_breakdown.underutilized * 100:.1f}% "
+        f"under, {mem_breakdown.optimal * 100:.1f}% optimal, "
+        f"{mem_breakdown.overutilized * 100:.1f}% over."
+    )
+
+    # Fig 15: lifetimes.
+    fig15 = figures.fig15_lifetime_per_flavor(dataset)
+    corr = lifetime_size_correlation(dataset)
+    lifetimes = np.asarray(dataset.vms["lifetime_seconds"], dtype=float)
+    parts.append("## Fig 15 — VM lifetime per flavor")
+    parts.append(
+        f"Paper: lifetimes from minutes to years; weak size→lifetime "
+        f"relation. Measured: min {lifetimes.min() / 60:.0f} min, max "
+        f"{lifetimes.max() / 86400 / 365:.1f} years across "
+        f"{len(fig15)} flavors (≥30 instances); size↔log-lifetime "
+        f"correlation {corr:+.2f}."
+    )
+    parts.append("")
+    parts.append(_frame_to_markdown(fig15.select(
+        ["flavor", "vm_count", "mean_lifetime_s", "vcpu_class", "ram_class"]
+    )))
+
+    # Tables.
+    parts.append("\n## Table 1 — VMs by vCPU class")
+    parts.append(_frame_to_markdown(tables.table1_vcpu_classes(dataset)))
+    parts.append("\n## Table 2 — VMs by RAM class")
+    parts.append(_frame_to_markdown(tables.table2_ram_classes(dataset)))
+    parts.append("\n## Table 3 — dataset comparison")
+    parts.append(_frame_to_markdown(tables.table3_dataset_comparison(dataset)))
+    parts.append("\n## Table 4 — metric catalogue")
+    parts.append(_frame_to_markdown(tables.table4_metric_catalog(), max_rows=20))
+    parts.append("\n## Table 5 — data centers (paper reference)")
+    parts.append(_frame_to_markdown(tables.table5_datacenters(), max_rows=29))
+    return "\n".join(parts)

@@ -1,0 +1,45 @@
+"""Small statistics helpers shared by analyses and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def percentile_summary(values, percentiles=(5, 25, 50, 75, 95)) -> dict[str, float]:
+    """Named percentile summary of a sample."""
+    arr = np.asarray(values, dtype=float)
+    if len(arr) == 0:
+        raise ValueError("summary of empty sample")
+    out = {"mean": float(arr.mean()), "min": float(arr.min()), "max": float(arr.max())}
+    for p in percentiles:
+        out[f"p{p}"] = float(np.percentile(arr, p))
+    return out
+
+
+def gini(values) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, →1 = skewed).
+
+    Used as an alternative imbalance measure across nodes/BBs.
+    """
+    arr = np.sort(np.asarray(values, dtype=float))
+    if len(arr) == 0:
+        raise ValueError("gini of empty sample")
+    if np.any(arr < 0):
+        raise ValueError("gini requires non-negative values")
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    n = len(arr)
+    index = np.arange(1, n + 1)
+    return float((2.0 * np.sum(index * arr) - (n + 1) * total) / (n * total))
+
+
+def coefficient_of_variation(values) -> float:
+    """std / mean; 0 for a constant sample."""
+    arr = np.asarray(values, dtype=float)
+    if len(arr) == 0:
+        raise ValueError("cv of empty sample")
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float(arr.std() / mean)

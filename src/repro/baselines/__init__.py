@@ -1,0 +1,39 @@
+"""Classic placement baselines: bin-packing heuristics and spread.
+
+§3.2 discusses First-Fit, Best-Fit, and Worst-Fit as the well-known
+low-effort strategies for the NP-hard bin-packing problem behind VM-to-host
+assignment.  This package implements them (plus decreasing-order variants
+and multi-dimensional vector packing) over abstract bins, with an evaluation
+harness measuring bins used, fragmentation, and waste.
+"""
+
+from repro.baselines.binpacking import (
+    Bin,
+    Item,
+    PackingResult,
+    best_fit,
+    best_fit_decreasing,
+    first_fit,
+    first_fit_decreasing,
+    next_fit,
+    pack,
+    worst_fit,
+)
+from repro.baselines.spread import spread_pack
+from repro.baselines.evaluation import PackingMetrics, evaluate_packing
+
+__all__ = [
+    "Item",
+    "Bin",
+    "PackingResult",
+    "first_fit",
+    "best_fit",
+    "worst_fit",
+    "next_fit",
+    "first_fit_decreasing",
+    "best_fit_decreasing",
+    "pack",
+    "spread_pack",
+    "PackingMetrics",
+    "evaluate_packing",
+]

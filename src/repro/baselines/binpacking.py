@@ -1,0 +1,199 @@
+"""Multi-dimensional bin-packing heuristics.
+
+Items and bins are resource vectors (vCPU, memory, disk).  All heuristics
+share one engine, :func:`pack`, parameterised by a bin-selection rule:
+
+- **First-Fit** — lowest-index open bin that fits;
+- **Best-Fit** — open bin with the least remaining room after placement;
+- **Worst-Fit** — open bin with the most remaining room;
+- **Next-Fit** — only the most recently opened bin;
+- the ``*-decreasing`` variants sort items by dominant share first.
+
+"Fit" in multiple dimensions uses the dominant-resource share against the
+bin capacity, the standard vector-packing reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.infrastructure.capacity import Capacity
+
+
+@dataclass(frozen=True)
+class Item:
+    """One object to pack (a VM request)."""
+
+    item_id: str
+    size: Capacity
+
+    def dominant_share(self, bin_capacity: Capacity) -> float:
+        return self.size.dominant_share(bin_capacity)
+
+
+@dataclass
+class Bin:
+    """One open bin (a host)."""
+
+    bin_id: str
+    capacity: Capacity
+    items: list[Item] = field(default_factory=list)
+    used: Capacity = field(default_factory=Capacity)
+
+    def fits(self, item: Item) -> bool:
+        return (self.used + item.size).fits_within(self.capacity)
+
+    def add(self, item: Item) -> None:
+        if not self.fits(item):
+            raise ValueError(f"item {item.item_id} does not fit in bin {self.bin_id}")
+        self.items.append(item)
+        self.used = self.used + item.size
+
+    def remaining(self) -> Capacity:
+        return self.capacity - self.used
+
+    def fill_fraction(self) -> float:
+        """Dominant-share fill level of this bin."""
+        return self.used.dominant_share(self.capacity)
+
+
+@dataclass
+class PackingResult:
+    """Outcome of a packing run."""
+
+    bins: list[Bin]
+    unplaced: list[Item]
+
+    @property
+    def bins_used(self) -> int:
+        return sum(1 for b in self.bins if b.items)
+
+    def assignment(self) -> dict[str, str]:
+        """item_id -> bin_id for every placed item."""
+        return {
+            item.item_id: b.bin_id for b in self.bins for item in b.items
+        }
+
+
+#: Selection rule: (open bins that fit, item) -> chosen bin or None.
+SelectionRule = Callable[[list[Bin], Item], Bin | None]
+
+
+def _first_fit_rule(candidates: list[Bin], item: Item) -> Bin | None:
+    return candidates[0] if candidates else None
+
+
+def _fill_after(b: Bin, item: Item) -> float:
+    """Dominant-share fill level the bin would reach with ``item`` added.
+
+    Scoring fullness-after-placement (rather than leftover) keeps unused
+    resource dimensions from dominating the comparison.
+    """
+    return (b.used + item.size).dominant_share(b.capacity)
+
+
+def _best_fit_rule(candidates: list[Bin], item: Item) -> Bin | None:
+    if not candidates:
+        return None
+    # Fullest-after-placement; ties break to the lowest bin id.
+    return min(candidates, key=lambda b: (-_fill_after(b, item), b.bin_id))
+
+
+def _worst_fit_rule(candidates: list[Bin], item: Item) -> Bin | None:
+    if not candidates:
+        return None
+    # Emptiest-after-placement; ties break to the lowest bin id.
+    return min(candidates, key=lambda b: (_fill_after(b, item), b.bin_id))
+
+
+def _next_fit_rule(candidates: list[Bin], item: Item) -> Bin | None:
+    # The engine passes open bins in creation order; next-fit only ever
+    # considers the newest one.
+    return candidates[-1] if candidates and candidates[-1].fits(item) else None
+
+
+_RULES: dict[str, SelectionRule] = {
+    "first_fit": _first_fit_rule,
+    "best_fit": _best_fit_rule,
+    "worst_fit": _worst_fit_rule,
+    "next_fit": _next_fit_rule,
+}
+
+
+def pack(
+    items: Sequence[Item],
+    bin_capacity: Capacity,
+    rule: str = "first_fit",
+    decreasing: bool = False,
+    max_bins: int | None = None,
+) -> PackingResult:
+    """Pack ``items`` into uniform bins of ``bin_capacity``.
+
+    Opens a new bin whenever the rule returns no candidate, up to
+    ``max_bins`` (unbounded when None); items that cannot be placed at the
+    bin cap land in ``unplaced``.  Items larger than one empty bin are
+    always unplaced.
+    """
+    try:
+        select = _RULES[rule]
+    except KeyError:
+        raise ValueError(f"unknown rule {rule!r}; known: {sorted(_RULES)}") from None
+    ordered = list(items)
+    if decreasing:
+        ordered.sort(
+            key=lambda it: (-it.dominant_share(bin_capacity), it.item_id)
+        )
+    bins: list[Bin] = []
+    unplaced: list[Item] = []
+    for item in ordered:
+        if not item.size.fits_within(bin_capacity):
+            unplaced.append(item)
+            continue
+        if rule == "next_fit":
+            chosen = select(bins, item)
+        else:
+            candidates = [b for b in bins if b.fits(item)]
+            chosen = select(candidates, item)
+        if chosen is None:
+            if max_bins is not None and len(bins) >= max_bins:
+                unplaced.append(item)
+                continue
+            chosen = Bin(bin_id=f"bin-{len(bins):04d}", capacity=bin_capacity)
+            bins.append(chosen)
+        chosen.add(item)
+    return PackingResult(bins=bins, unplaced=unplaced)
+
+
+def first_fit(items: Sequence[Item], bin_capacity: Capacity, **kw) -> PackingResult:
+    """First-Fit: place in the earliest-opened bin that fits."""
+    return pack(items, bin_capacity, rule="first_fit", **kw)
+
+
+def best_fit(items: Sequence[Item], bin_capacity: Capacity, **kw) -> PackingResult:
+    """Best-Fit: place in the bin left tightest after placement."""
+    return pack(items, bin_capacity, rule="best_fit", **kw)
+
+
+def worst_fit(items: Sequence[Item], bin_capacity: Capacity, **kw) -> PackingResult:
+    """Worst-Fit: place in the bin left emptiest after placement."""
+    return pack(items, bin_capacity, rule="worst_fit", **kw)
+
+
+def next_fit(items: Sequence[Item], bin_capacity: Capacity, **kw) -> PackingResult:
+    """Next-Fit: place in the newest bin or open a new one."""
+    return pack(items, bin_capacity, rule="next_fit", **kw)
+
+
+def first_fit_decreasing(
+    items: Sequence[Item], bin_capacity: Capacity, **kw
+) -> PackingResult:
+    """FFD: First-Fit over items sorted largest-first."""
+    return pack(items, bin_capacity, rule="first_fit", decreasing=True, **kw)
+
+
+def best_fit_decreasing(
+    items: Sequence[Item], bin_capacity: Capacity, **kw
+) -> PackingResult:
+    """BFD: Best-Fit over items sorted largest-first."""
+    return pack(items, bin_capacity, rule="best_fit", decreasing=True, **kw)

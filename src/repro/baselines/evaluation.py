@@ -1,0 +1,78 @@
+"""Packing quality metrics.
+
+The optimisation criteria of §3.2: maximise placeable VMs, minimise
+fragmentation, optimise utilisation.  These metrics quantify all three for
+any :class:`~repro.baselines.binpacking.PackingResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.binpacking import PackingResult
+
+
+@dataclass(frozen=True)
+class PackingMetrics:
+    """Quality summary of one packing."""
+
+    bins_used: int
+    items_placed: int
+    items_unplaced: int
+    #: Mean dominant-share fill of non-empty bins (1.0 = perfectly full).
+    mean_fill: float
+    #: Std-dev of fill across non-empty bins (imbalance).
+    fill_std: float
+    #: Fragmentation: free capacity stranded in partially-filled bins as a
+    #: fraction of total capacity of used bins.
+    fragmentation: float
+    #: Lower bound on bins needed (total demand / bin size, dominant share).
+    lower_bound: int
+
+    @property
+    def efficiency(self) -> float:
+        """lower_bound / bins_used; 1.0 means provably optimal bin count."""
+        if self.bins_used == 0:
+            return 1.0
+        return self.lower_bound / self.bins_used
+
+
+def evaluate_packing(result: PackingResult) -> PackingMetrics:
+    """Compute :class:`PackingMetrics` for a packing result."""
+    used_bins = [b for b in result.bins if b.items]
+    fills = np.asarray([b.fill_fraction() for b in used_bins], dtype=float)
+    items_placed = sum(len(b.items) for b in used_bins)
+
+    # Per-dimension demand totals to derive the classic size lower bound.
+    lower_bound = 0
+    if used_bins:
+        capacity = used_bins[0].capacity
+        totals = {"vcpus": 0.0, "memory_mb": 0.0, "disk_gb": 0.0}
+        for b in used_bins:
+            for item in b.items:
+                totals["vcpus"] += item.size.vcpus
+                totals["memory_mb"] += item.size.memory_mb
+                totals["disk_gb"] += item.size.disk_gb
+        bounds = []
+        for dim, total in totals.items():
+            cap = getattr(capacity, dim)
+            if cap > 0:
+                bounds.append(int(np.ceil(total / cap)))
+        lower_bound = max(bounds) if bounds else 0
+
+    fragmentation = 0.0
+    if used_bins:
+        stranded = sum(1.0 - b.fill_fraction() for b in used_bins)
+        fragmentation = stranded / len(used_bins)
+
+    return PackingMetrics(
+        bins_used=len(used_bins),
+        items_placed=items_placed,
+        items_unplaced=len(result.unplaced),
+        mean_fill=float(fills.mean()) if len(fills) else 0.0,
+        fill_std=float(fills.std()) if len(fills) else 0.0,
+        fragmentation=fragmentation,
+        lower_bound=lower_bound,
+    )

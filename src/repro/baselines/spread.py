@@ -1,0 +1,36 @@
+"""Spread placement over a fixed bin set (the Nova default behaviour).
+
+Unlike bin packing, spread assumes the fleet is already powered on and
+balances load across all of it — the "default strategy aims to load-balance
+general-purpose workloads" of §3.2.  Each item goes to the currently
+least-filled bin that fits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.binpacking import Bin, Item, PackingResult
+from repro.infrastructure.capacity import Capacity
+
+
+def spread_pack(
+    items: Sequence[Item],
+    bin_count: int,
+    bin_capacity: Capacity,
+) -> PackingResult:
+    """Place items onto ``bin_count`` pre-opened bins, least-filled first."""
+    if bin_count < 1:
+        raise ValueError("bin_count must be positive")
+    bins = [
+        Bin(bin_id=f"bin-{i:04d}", capacity=bin_capacity) for i in range(bin_count)
+    ]
+    unplaced: list[Item] = []
+    for item in items:
+        candidates = [b for b in bins if b.fits(item)]
+        if not candidates:
+            unplaced.append(item)
+            continue
+        target = min(candidates, key=lambda b: (b.fill_fraction(), b.bin_id))
+        target.add(item)
+    return PackingResult(bins=bins, unplaced=unplaced)

@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate --out DIR [--scale S] [--days D] [--sampling SEC] [--seed N]
+        Generate a calibrated synthetic dataset and write the CSV archive.
+
+    repro report DIR
+        Load an archive and print the paper-vs-measured experiment report.
+
+    repro summary DIR
+        Print the dataset's headline numbers.
+
+    repro query DIR "mean(vrops_hostsystem_cpu_contention_percentage)"
+        Evaluate a PromQL-flavoured query against an archive's telemetry.
+
+    repro figure DIR fig5
+        Render one of the paper's heatmap/CDF figures as terminal art.
+
+Run ``python -m repro.cli --help`` (or ``repro --help`` once installed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.report import render_experiments_report
+from repro.core.dataset import SAPCloudDataset
+from repro.datagen import GeneratorConfig, generate_dataset
+from repro.datagen.validation import validate_dataset
+from repro.telemetry.query import QueryError, evaluate
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = GeneratorConfig(
+        scale=args.scale,
+        days=args.days,
+        sampling_seconds=args.sampling,
+        seed=args.seed,
+    )
+    print(
+        f"Generating scale={config.scale} ({config.days} days at "
+        f"{config.sampling_seconds}s sampling, seed {config.seed}) ...",
+        file=sys.stderr,
+    )
+    dataset = generate_dataset(config)
+    dataset.to_csv(args.out)
+    summary = dataset.summary()
+    print(
+        f"Wrote {args.out}: {summary['nodes']} nodes, {summary['vms']} VMs, "
+        f"{summary['samples']:,} samples"
+    )
+    return 0
+
+
+def _load(directory: str) -> SAPCloudDataset:
+    path = Path(directory)
+    if not (path / "meta.json").exists():
+        raise SystemExit(f"{directory} is not a dataset archive (no meta.json)")
+    return SAPCloudDataset.from_csv(path)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(render_experiments_report(_load(args.dataset)))
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    summary = _load(args.dataset).summary()
+    width = max(len(k) for k in summary)
+    for key, value in summary.items():
+        if isinstance(value, list):
+            value = f"{len(value)} entries"
+        print(f"{key:<{width}}  {value}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    report = validate_dataset(_load(args.dataset))
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    dataset = _load(args.dataset)
+    try:
+        result = evaluate(dataset.store, args.expression)
+    except QueryError as exc:
+        print(f"query error: {exc}", file=sys.stderr)
+        return 2
+    for labels, series in result.series[: args.limit]:
+        label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        print(f"# {{{label_text}}}  ({len(series)} samples)")
+        for t, v in zip(series.timestamps[: args.samples], series.values):
+            print(f"{t:.0f}\t{v:.4f}")
+        if len(series) > args.samples:
+            print(f"... {len(series) - args.samples} more samples")
+    if len(result.series) > args.limit:
+        print(f"... {len(result.series) - args.limit} more series")
+    return 0
+
+
+_HEATMAP_FIGURES = {
+    "fig5": ("fig5_dc_cpu_heatmap", "free CPU per node, one DC"),
+    "fig6": ("fig6_bb_cpu_heatmap", "free CPU per building block"),
+    "fig7": ("fig7_intra_bb_cpu_heatmap", "free CPU per node, one BB"),
+    "fig10": ("fig10_memory_heatmap", "free memory per node"),
+    "fig11": ("fig11_network_tx_heatmap", "free TX bandwidth per node"),
+    "fig12": ("fig12_network_rx_heatmap", "free RX bandwidth per node"),
+    "fig13": ("fig13_storage_heatmap", "free storage per host"),
+}
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.analysis import figures
+    from repro.analysis.render import render_cdf, render_heatmap
+
+    dataset = _load(args.dataset)
+    name = args.figure
+    if name in _HEATMAP_FIGURES:
+        builder_name, caption = _HEATMAP_FIGURES[name]
+        heatmap = getattr(figures, builder_name)(dataset)
+        print(f"{name}: {caption}")
+        print(render_heatmap(heatmap))
+        return 0
+    if name == "fig14":
+        cdfs = figures.fig14_utilization_cdfs(dataset)
+        for resource, (values, fractions) in cdfs.items():
+            print(render_cdf(values, fractions,
+                             title=f"fig14 — avg {resource} utilisation CDF"))
+            print()
+        return 0
+    known = sorted(_HEATMAP_FIGURES) + ["fig14"]
+    print(f"unknown figure {name!r}; known: {known}", file=sys.stderr)
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser with every subcommand registered."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SAP Cloud Infrastructure dataset reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.add_argument("--scale", type=float, default=0.05)
+    generate.add_argument("--days", type=int, default=30)
+    generate.add_argument("--sampling", type=int, default=1800)
+    generate.add_argument("--seed", type=int, default=20240731)
+    generate.set_defaults(func=_cmd_generate)
+
+    report = sub.add_parser("report", help="print the experiment report")
+    report.add_argument("dataset", help="dataset archive directory")
+    report.set_defaults(func=_cmd_report)
+
+    summary = sub.add_parser("summary", help="print dataset headline numbers")
+    summary.add_argument("dataset", help="dataset archive directory")
+    summary.set_defaults(func=_cmd_summary)
+
+    validate = sub.add_parser(
+        "validate", help="check a dataset against the paper's calibration targets"
+    )
+    validate.add_argument("dataset", help="dataset archive directory")
+    validate.set_defaults(func=_cmd_validate)
+
+    figure = sub.add_parser("figure", help="render a paper figure as text")
+    figure.add_argument("dataset", help="dataset archive directory")
+    figure.add_argument("figure", help="fig5|fig6|fig7|fig10..fig14")
+    figure.set_defaults(func=_cmd_figure)
+
+    query = sub.add_parser("query", help="evaluate a telemetry query")
+    query.add_argument("dataset", help="dataset archive directory")
+    query.add_argument("expression", help='e.g. \'max(vrops_hostsystem_cpu_contention_percentage)\'')
+    query.add_argument("--limit", type=int, default=5, help="max series printed")
+    query.add_argument("--samples", type=int, default=10, help="max samples per series")
+    query.set_defaults(func=_cmd_query)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

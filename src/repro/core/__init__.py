@@ -1,0 +1,115 @@
+"""The paper's contribution as a library.
+
+:class:`~repro.core.dataset.SAPCloudDataset` is the central artifact — the
+(synthetic, calibrated) equivalent of the public Zenodo dataset: topology,
+VM inventory, lifecycle events, and the full Table 4 metric telemetry.  The
+sibling modules implement every analysis of Section 5 (heatmaps, contention,
+utilisation CDFs, classifications, lifetimes) and the Section 7 guidance
+analytics (overcommit assessment, right-sizing, imbalance scoring,
+contention- and lifetime-aware placement).
+"""
+
+from repro.core.dataset import SAPCloudDataset
+from repro.core.characterization import (
+    UTILIZATION_THRESHOLDS,
+    classify_utilization,
+    lifetime_by_flavor,
+    utilization_breakdown,
+    vm_size_tables,
+)
+from repro.core.contention import (
+    ContentionSummary,
+    contention_daily_stats,
+    contention_threshold_report,
+    top_ready_time_nodes,
+)
+from repro.core.heatmaps import HeatmapResult, free_resource_heatmap
+from repro.core.cdf import cdf_points, utilization_cdf
+from repro.core.imbalance import (
+    bb_imbalance_report,
+    fragmentation_score,
+    intra_bb_spread,
+)
+from repro.core.guidance import (
+    OvercommitAssessment,
+    RightsizingRecommendation,
+    assess_overcommit,
+    rightsizing_recommendations,
+)
+from repro.core.advanced_placement import (
+    ContentionAwareScheduler,
+    HolisticNodeScheduler,
+    LifetimeAwareScheduler,
+)
+from repro.core.clustering import ClusteringResult, cluster_workloads
+from repro.core.energy import EnergyReport, PowerModel, fleet_energy
+from repro.core.lifecycle import (
+    LifecycleSummary,
+    daily_event_counts,
+    lifecycle_summary,
+    population_trajectory,
+)
+from repro.core.noisy_neighbors import (
+    VictimExposure,
+    blast_radius,
+    victim_exposures,
+    victim_report,
+)
+from repro.core.oversubscription import (
+    MultiplexingGain,
+    multiplexing_report,
+    vm_multiplexing_gain,
+)
+from repro.core.temporal import (
+    NodeTemporalProfile,
+    static_node_share,
+    temporal_profiles,
+    temporal_summary,
+)
+
+__all__ = [
+    "SAPCloudDataset",
+    "UTILIZATION_THRESHOLDS",
+    "classify_utilization",
+    "utilization_breakdown",
+    "vm_size_tables",
+    "lifetime_by_flavor",
+    "ContentionSummary",
+    "contention_daily_stats",
+    "top_ready_time_nodes",
+    "contention_threshold_report",
+    "HeatmapResult",
+    "free_resource_heatmap",
+    "cdf_points",
+    "utilization_cdf",
+    "intra_bb_spread",
+    "bb_imbalance_report",
+    "fragmentation_score",
+    "OvercommitAssessment",
+    "assess_overcommit",
+    "RightsizingRecommendation",
+    "rightsizing_recommendations",
+    "ContentionAwareScheduler",
+    "LifetimeAwareScheduler",
+    "HolisticNodeScheduler",
+    "ClusteringResult",
+    "cluster_workloads",
+    "PowerModel",
+    "EnergyReport",
+    "fleet_energy",
+    "LifecycleSummary",
+    "lifecycle_summary",
+    "daily_event_counts",
+    "population_trajectory",
+    "MultiplexingGain",
+    "vm_multiplexing_gain",
+    "multiplexing_report",
+    "VictimExposure",
+    "victim_exposures",
+    "victim_report",
+    "blast_radius",
+    "NodeTemporalProfile",
+    "temporal_profiles",
+    "temporal_summary",
+    "static_node_share",
+]

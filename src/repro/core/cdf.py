@@ -1,0 +1,37 @@
+"""Cumulative distribution helpers (Fig 14)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import SAPCloudDataset
+
+
+def cdf_points(values: np.ndarray | list[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative fractions)."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if len(arr) == 0:
+        return np.asarray([]), np.asarray([])
+    fractions = np.arange(1, len(arr) + 1) / len(arr)
+    return arr, fractions
+
+
+def cdf_at(values: np.ndarray | list[float], threshold: float) -> float:
+    """Fraction of values at or below ``threshold``."""
+    arr = np.asarray(values, dtype=float)
+    if len(arr) == 0:
+        raise ValueError("cdf of empty sample")
+    return float(np.mean(arr <= threshold))
+
+
+def utilization_cdf(
+    dataset: SAPCloudDataset, resource: str = "cpu"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fig 14a/14b: CDF of average per-VM utilisation ratio.
+
+    Returns the (ratio, cumulative fraction) series the paper plots.
+    """
+    column = {"cpu": "cpu_avg_ratio", "memory": "mem_avg_ratio"}.get(resource)
+    if column is None:
+        raise ValueError("resource must be 'cpu' or 'memory'")
+    return cdf_points(np.asarray(dataset.vms[column], dtype=float))

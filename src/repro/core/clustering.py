@@ -1,0 +1,139 @@
+"""Workload clustering: data-driven characterisation of the VM population.
+
+§7: "this underlines the importance of workload characterization as a
+prerequisite for selecting appropriate bin-packing strategies."  This
+module clusters VMs by behavioural features (average CPU/memory
+utilisation, size, log-lifetime) with a small, dependency-free k-means,
+then labels clusters against the paper's archetypes (idle overprovisioned,
+memory-resident database, compute-active, churn).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import SAPCloudDataset
+
+FEATURES = ("cpu_avg_ratio", "mem_avg_ratio", "log_vcpus", "log_lifetime")
+
+
+@dataclass(frozen=True)
+class WorkloadCluster:
+    """One behavioural cluster with denormalised centroid values."""
+
+    cluster_id: int
+    size: int
+    cpu_avg: float
+    mem_avg: float
+    vcpus_geo_mean: float
+    lifetime_days_geo_mean: float
+    label: str
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """k-means output: assignments plus summarised clusters."""
+
+    clusters: tuple[WorkloadCluster, ...]
+    assignments: np.ndarray  # cluster id per VM row
+    inertia: float
+
+    def cluster_of(self, index: int) -> WorkloadCluster:
+        cluster_id = int(self.assignments[index])
+        return next(c for c in self.clusters if c.cluster_id == cluster_id)
+
+
+def _feature_matrix(dataset: SAPCloudDataset) -> np.ndarray:
+    cpu = np.asarray(dataset.vms["cpu_avg_ratio"], dtype=float)
+    mem = np.asarray(dataset.vms["mem_avg_ratio"], dtype=float)
+    vcpus = np.asarray(dataset.vms["vcpus"], dtype=float)
+    lifetimes = np.asarray(dataset.vms["lifetime_seconds"], dtype=float)
+    return np.column_stack(
+        [cpu, mem, np.log(np.maximum(vcpus, 1.0)), np.log(np.maximum(lifetimes, 60.0))]
+    )
+
+
+def kmeans(
+    features: np.ndarray, k: int, rng: np.random.Generator, iterations: int = 50
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Plain Lloyd's k-means on standardised features.
+
+    Returns (centroids in standardised space, assignments, inertia).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if len(features) < k:
+        raise ValueError("need at least k points")
+    mean = features.mean(axis=0)
+    std = features.std(axis=0)
+    std[std == 0] = 1.0
+    normed = (features - mean) / std
+    # k-means++-style spread-out initialisation (greedy farthest point).
+    centroids = [normed[int(rng.integers(0, len(normed)))]]
+    for _ in range(1, k):
+        distances = np.min(
+            [np.sum((normed - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        centroids.append(normed[int(np.argmax(distances))])
+    centers = np.asarray(centroids)
+    assignments = np.zeros(len(normed), dtype=int)
+    for _ in range(iterations):
+        distances = np.stack(
+            [np.sum((normed - c) ** 2, axis=1) for c in centers]
+        )
+        new_assignments = np.argmin(distances, axis=0)
+        if np.array_equal(new_assignments, assignments) and _ > 0:
+            break
+        assignments = new_assignments
+        for j in range(k):
+            members = normed[assignments == j]
+            if len(members):
+                centers[j] = members.mean(axis=0)
+    inertia = float(
+        np.sum((normed - centers[assignments]) ** 2)
+    )
+    return centers * std + mean, assignments, inertia
+
+
+def _label_cluster(cpu: float, mem: float, lifetime_days: float) -> str:
+    if mem > 0.80 and lifetime_days > 30:
+        return "memory-resident database"
+    if cpu > 0.55:
+        return "compute-active"
+    if lifetime_days < 7:
+        return "short-lived churn"
+    return "idle overprovisioned"
+
+
+def cluster_workloads(
+    dataset: SAPCloudDataset, k: int = 4, seed: int = 0
+) -> ClusteringResult:
+    """Cluster the VM population into ``k`` behavioural groups."""
+    features = _feature_matrix(dataset)
+    rng = np.random.default_rng(seed)
+    centers, assignments, inertia = kmeans(features, k, rng)
+    clusters = []
+    for j in range(k):
+        members = assignments == j
+        size = int(members.sum())
+        if size == 0:
+            continue
+        centroid = features[members].mean(axis=0)
+        lifetime_days = float(np.exp(centroid[3]) / 86_400.0)
+        clusters.append(
+            WorkloadCluster(
+                cluster_id=j,
+                size=size,
+                cpu_avg=float(centroid[0]),
+                mem_avg=float(centroid[1]),
+                vcpus_geo_mean=float(np.exp(centroid[2])),
+                lifetime_days_geo_mean=lifetime_days,
+                label=_label_cluster(centroid[0], centroid[1], lifetime_days),
+            )
+        )
+    clusters.sort(key=lambda c: -c.size)
+    return ClusteringResult(
+        clusters=tuple(clusters), assignments=assignments, inertia=inertia
+    )

@@ -1,0 +1,157 @@
+"""CPU contention and ready-time analysis (Figs 8–9, §5.1).
+
+The paper classifies contention against a 10% strict threshold (critical
+workloads) and a 30% moderate threshold (time-sensitive systems), observes
+node maxima between 10% and 30% with outliers above 40%, and tracks the 10
+nodes with the highest CPU ready time, noting a 30-second baseline that
+several hypervisors exceed repeatedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import SAPCloudDataset
+from repro.frame import Frame
+from repro.telemetry.timeseries import TimeSeries
+
+#: §5.1 thresholds on the contention percentage.
+STRICT_CONTENTION_PCT = 10.0
+MODERATE_CONTENTION_PCT = 30.0
+SEVERE_CONTENTION_PCT = 40.0
+
+#: Fig 8's "30 second baseline" on per-window CPU ready time.
+READY_BASELINE_MS = 30_000.0
+
+
+@dataclass(frozen=True)
+class ContentionSummary:
+    """Fleet-level contention statistics over the observation window."""
+
+    node_count: int
+    daily_mean_max: float  # worst daily fleet-mean contention %
+    daily_p95_max: float  # worst daily fleet-p95 contention %
+    overall_max: float  # highest single contention sample %
+    nodes_above_strict: int  # nodes whose max exceeds 10%
+    nodes_above_moderate: int  # nodes whose max exceeds 30%
+    nodes_above_severe: int  # nodes whose max exceeds 40%
+
+
+def contention_daily_stats(dataset: SAPCloudDataset) -> Frame:
+    """Fig 9: daily mean / p95 / max contention across all nodes.
+
+    Returns one row per day with ``day``, ``mean``, ``p95``, ``max``.
+    """
+    metric = "vrops_hostsystem_cpu_contention_percentage"
+    mean_series = dataset.store.aggregate_across(metric, agg="mean")
+    if len(mean_series) == 0:
+        raise ValueError("dataset has no contention telemetry")
+    p95_series = dataset.store.aggregate_across(metric, agg="p95")
+    max_series = dataset.store.aggregate_across(metric, agg="max")
+    daily_mean = mean_series.daily("mean")
+    daily_p95 = p95_series.daily("max")
+    daily_max = max_series.daily("max")
+    return Frame(
+        {
+            "day": daily_mean.timestamps,
+            "mean": daily_mean.values,
+            "p95": daily_p95.values,
+            "max": daily_max.values,
+        }
+    )
+
+
+def contention_summary(dataset: SAPCloudDataset) -> ContentionSummary:
+    """Threshold-based summary of the fleet's contention behaviour."""
+    metric = "vrops_hostsystem_cpu_contention_percentage"
+    node_maxima = []
+    for _labels, series in dataset.store.select(metric):
+        if len(series):
+            node_maxima.append(series.max())
+    if not node_maxima:
+        raise ValueError("dataset has no contention telemetry")
+    daily = contention_daily_stats(dataset)
+    maxima = np.asarray(node_maxima)
+    return ContentionSummary(
+        node_count=len(maxima),
+        daily_mean_max=float(np.max(daily["mean"])),
+        daily_p95_max=float(np.max(daily["p95"])),
+        overall_max=float(maxima.max()),
+        nodes_above_strict=int(np.sum(maxima > STRICT_CONTENTION_PCT)),
+        nodes_above_moderate=int(np.sum(maxima > MODERATE_CONTENTION_PCT)),
+        nodes_above_severe=int(np.sum(maxima > SEVERE_CONTENTION_PCT)),
+    )
+
+
+def top_ready_time_nodes(
+    dataset: SAPCloudDataset, n: int = 10
+) -> list[tuple[str, TimeSeries]]:
+    """Fig 8: the ``n`` nodes with the highest CPU ready time.
+
+    Ranked by peak per-window ready time; returns (node_id, series) pairs,
+    highest peak first.
+    """
+    metric = "vrops_hostsystem_cpu_ready_milliseconds"
+    peaks: list[tuple[float, str, TimeSeries]] = []
+    for labels, series in dataset.store.select(metric):
+        if len(series) == 0:
+            continue
+        peaks.append((series.max(), labels.get("hostsystem", "?"), series))
+    peaks.sort(key=lambda item: (-item[0], item[1]))
+    return [(node_id, series) for _, node_id, series in peaks[:n]]
+
+
+def ready_baseline_exceedances(dataset: SAPCloudDataset) -> Frame:
+    """Per-node count of samples exceeding the 30 s ready-time baseline."""
+    metric = "vrops_hostsystem_cpu_ready_milliseconds"
+    records = []
+    for labels, series in dataset.store.select(metric):
+        if len(series) == 0:
+            continue
+        count = int(np.sum(series.values > READY_BASELINE_MS))
+        if count:
+            records.append(
+                {
+                    "node_id": labels.get("hostsystem", "?"),
+                    "exceedances": count,
+                    "peak_ready_ms": series.max(),
+                }
+            )
+    records.sort(key=lambda r: -r["exceedances"])
+    if not records:
+        return Frame.empty(["node_id", "exceedances", "peak_ready_ms"])
+    return Frame.from_records(records)
+
+
+def contention_threshold_report(dataset: SAPCloudDataset) -> dict[str, float]:
+    """Headline numbers matching §5.1's narrative."""
+    summary = contention_summary(dataset)
+    return {
+        "daily_mean_max_pct": summary.daily_mean_max,
+        "daily_p95_max_pct": summary.daily_p95_max,
+        "overall_max_pct": summary.overall_max,
+        "share_nodes_above_10pct": summary.nodes_above_strict / summary.node_count,
+        "share_nodes_above_30pct": summary.nodes_above_moderate / summary.node_count,
+        "share_nodes_above_40pct": summary.nodes_above_severe / summary.node_count,
+    }
+
+
+def weekday_weekend_effect(dataset: SAPCloudDataset) -> tuple[float, float]:
+    """Mean top-node ready time on weekdays vs weekends (Fig 8's temporal
+    effect: less workload and contention on weekends)."""
+    top = top_ready_time_nodes(dataset, n=10)
+    if not top:
+        raise ValueError("dataset has no ready-time telemetry")
+    weekday_vals: list[float] = []
+    weekend_vals: list[float] = []
+    for _node, series in top:
+        day_index = (np.floor(series.timestamps / 86_400).astype(int) + 3) % 7
+        weekend = day_index >= 5
+        weekday_vals.extend(series.values[~weekend].tolist())
+        weekend_vals.extend(series.values[weekend].tolist())
+    return (
+        float(np.mean(weekday_vals)) if weekday_vals else 0.0,
+        float(np.mean(weekend_vals)) if weekend_vals else 0.0,
+    )

@@ -1,0 +1,162 @@
+"""The dataset facade: everything the public SAP trace contains, in one object.
+
+A :class:`SAPCloudDataset` bundles
+
+- ``nodes``: the hypervisor inventory (one row per compute node),
+- ``vms``: the VM inventory with flavors, placement, lifecycle timestamps,
+  and lifetime-average utilisation ratios,
+- ``events``: scheduling-relevant lifecycle events (create / delete /
+  migrate / resize),
+- ``store``: the metric time series keyed by the Table 4 exporter names,
+- ``meta``: observation window and provenance.
+
+CSV round-trip (:meth:`to_csv` / :meth:`from_csv`) mirrors the Zenodo
+archive's "anonymized telemetry data in CSV format" (Appendix B).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.frame import Frame, read_csv, write_csv
+from repro.telemetry.store import MetricStore
+from repro.telemetry.timeseries import TimeSeries
+
+#: Observation window length of the study (§4): 30 days.
+OBSERVATION_DAYS = 30
+
+
+@dataclass
+class SAPCloudDataset:
+    """One regional deployment's observation-window dataset."""
+
+    nodes: Frame
+    vms: Frame
+    events: Frame
+    store: MetricStore
+    meta: dict = field(default_factory=dict)
+
+    # -- descriptive properties -------------------------------------------------
+
+    @property
+    def window_start(self) -> float:
+        return float(self.meta.get("window_start", 0.0))
+
+    @property
+    def window_end(self) -> float:
+        return float(
+            self.meta.get(
+                "window_end", self.window_start + OBSERVATION_DAYS * 86_400
+            )
+        )
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def vm_count(self) -> int:
+        return len(self.vms)
+
+    def building_blocks(self) -> list[str]:
+        """Distinct building block ids, sorted."""
+        return [str(b) for b in self.nodes.unique("bb_id")]
+
+    def datacenters(self) -> list[str]:
+        return [str(d) for d in self.nodes.unique("dc_id")]
+
+    def nodes_in(self, bb_id: str | None = None, dc_id: str | None = None) -> Frame:
+        """Node rows restricted to one BB and/or DC."""
+        out = self.nodes
+        if bb_id is not None:
+            out = out.filter(np.asarray([str(v) == bb_id for v in out["bb_id"]]))
+        if dc_id is not None:
+            out = out.filter(np.asarray([str(v) == dc_id for v in out["dc_id"]]))
+        return out
+
+    def node_series(self, metric: str, node_id: str) -> TimeSeries:
+        """One node's series for a ``vrops_hostsystem_*`` metric."""
+        for labels, series in self.store.select(metric, {"hostsystem": node_id}):
+            return series
+        return TimeSeries.empty()
+
+    def vms_alive_at(self, t: float) -> Frame:
+        """VM rows alive at time ``t``."""
+        created = np.asarray(self.vms["created_at"], dtype=float)
+        deleted = np.asarray(
+            [np.inf if d is None or d != d else float(d) for d in self.vms["deleted_at"]],
+            dtype=float,
+        )
+        return self.vms.filter((created <= t) & (deleted > t))
+
+    def summary(self) -> dict:
+        """Headline numbers in the style of the paper's abstract."""
+        return {
+            "nodes": self.node_count,
+            "vms": self.vm_count,
+            "building_blocks": len(self.building_blocks()),
+            "datacenters": len(self.datacenters()),
+            "window_days": (self.window_end - self.window_start) / 86_400,
+            "metrics": self.store.metrics(),
+            "samples": self.store.sample_count(),
+        }
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_csv(self, directory: str | Path) -> None:
+        """Write the dataset as a directory of CSV files + meta.json."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        write_csv(self.nodes, directory / "nodes.csv")
+        write_csv(self.vms, directory / "vms.csv")
+        write_csv(self.events, directory / "events.csv")
+        (directory / "meta.json").write_text(json.dumps(self.meta, indent=2))
+        # Long-format telemetry: one file per metric to keep files readable.
+        for metric in self.store.metrics():
+            records: dict[str, list] = {
+                "labels": [],
+                "timestamp": [],
+                "value": [],
+            }
+            for labels, series in self.store.select(metric):
+                label_text = ";".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                records["labels"].extend([label_text] * len(series))
+                records["timestamp"].extend(series.timestamps.tolist())
+                records["value"].extend(series.values.tolist())
+            write_csv(Frame(records), directory / f"metric_{metric}.csv")
+
+    @classmethod
+    def from_csv(cls, directory: str | Path) -> "SAPCloudDataset":
+        """Load a dataset previously written by :meth:`to_csv`."""
+        directory = Path(directory)
+        nodes = read_csv(directory / "nodes.csv")
+        vms = read_csv(directory / "vms.csv")
+        events = read_csv(directory / "events.csv")
+        meta = json.loads((directory / "meta.json").read_text())
+        store = MetricStore()
+        for path in sorted(directory.glob("metric_*.csv")):
+            metric = path.stem[len("metric_") :]
+            table = read_csv(path)
+            if len(table) == 0:
+                continue
+            label_col = table["labels"]
+            ts_col = np.asarray(table["timestamp"], dtype=float)
+            val_col = np.asarray(table["value"], dtype=float)
+            # Group rows per label set, then bulk-append per series.
+            by_label: dict[str, list[int]] = {}
+            for i, text in enumerate(label_col):
+                by_label.setdefault(str(text), []).append(i)
+            for text, rows in by_label.items():
+                labels = dict(
+                    part.split("=", 1) for part in text.split(";") if "=" in part
+                )
+                idx = np.asarray(rows, dtype=int)
+                order = np.argsort(ts_col[idx])
+                store.append_series(
+                    metric, labels, TimeSeries(ts_col[idx][order], val_col[idx][order])
+                )
+        return cls(nodes=nodes, vms=vms, events=events, store=store, meta=meta)

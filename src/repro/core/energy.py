@@ -1,0 +1,127 @@
+"""Energy modelling.
+
+§1 motivates efficient placement partly through energy consumption.  The
+standard linear server power model — idle floor plus a utilisation-
+proportional term — lets the packing-vs-spread trade-off be expressed in
+watt-hours: packing empties nodes that can then power down (or sleep),
+spread keeps the whole fleet at its idle floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import SAPCloudDataset
+from repro.telemetry.timeseries import TimeSeries
+
+
+@dataclass(frozen=True, slots=True)
+class PowerModel:
+    """Linear power model for one server class."""
+
+    idle_watts: float = 250.0
+    peak_watts: float = 850.0
+    #: Power drawn by a powered-down / deep-sleep node.
+    sleep_watts: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0 or self.sleep_watts < 0:
+            raise ValueError("power values must be non-negative")
+        if self.peak_watts < self.idle_watts:
+            raise ValueError("peak_watts must be >= idle_watts")
+
+    def power_at(self, utilization: float | np.ndarray) -> float | np.ndarray:
+        """Instantaneous draw at a CPU utilisation fraction in [0, 1]."""
+        u = np.clip(utilization, 0.0, 1.0)
+        return self.idle_watts + (self.peak_watts - self.idle_watts) * u
+
+    def energy_kwh(self, series: TimeSeries, asleep: bool = False) -> float:
+        """Energy over a utilisation-fraction series (trapezoidal)."""
+        if len(series) < 2:
+            return 0.0
+        if asleep:
+            duration_h = (series.timestamps[-1] - series.timestamps[0]) / 3600.0
+            return self.sleep_watts * duration_h / 1000.0
+        watts = TimeSeries(series.timestamps, self.power_at(series.values))
+        return watts.integral() / 3600.0 / 1000.0
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Fleet energy summary over the observation window."""
+
+    node_count: int
+    total_kwh: float
+    idle_floor_kwh: float  # energy the idle floors alone account for
+    #: kWh that powering down near-idle nodes (mean util < threshold) and
+    #: re-packing their load elsewhere could save, assuming perfect packing.
+    consolidation_potential_kwh: float
+
+    @property
+    def idle_share(self) -> float:
+        return self.idle_floor_kwh / self.total_kwh if self.total_kwh > 0 else 0.0
+
+
+def fleet_energy(
+    dataset: SAPCloudDataset,
+    model: PowerModel | None = None,
+    idle_threshold: float = 0.10,
+) -> EnergyReport:
+    """Energy of every node over the window, plus consolidation headroom.
+
+    A node counts toward consolidation potential when its mean CPU
+    utilisation stays below ``idle_threshold``; the potential is the gap
+    between what it drew and the sleep draw, discounted by the energy its
+    (small) load costs elsewhere at proportional rates.
+    """
+    model = model or PowerModel()
+    metric = "vrops_hostsystem_cpu_core_utilization_percentage"
+    total = 0.0
+    idle_floor = 0.0
+    potential = 0.0
+    node_count = 0
+    for _labels, series in dataset.store.select(metric):
+        if len(series) < 2:
+            continue
+        node_count += 1
+        fractions = TimeSeries(series.timestamps, series.values / 100.0)
+        duration_h = (series.timestamps[-1] - series.timestamps[0]) / 3600.0
+        kwh = model.energy_kwh(fractions)
+        total += kwh
+        idle_floor += model.idle_watts * duration_h / 1000.0
+        if float(np.mean(fractions.values)) < idle_threshold:
+            asleep_kwh = model.energy_kwh(fractions, asleep=True)
+            # Moving the load elsewhere costs only the proportional part.
+            proportional_kwh = kwh - model.idle_watts * duration_h / 1000.0
+            potential += max(0.0, kwh - asleep_kwh - proportional_kwh)
+    return EnergyReport(
+        node_count=node_count,
+        total_kwh=total,
+        idle_floor_kwh=idle_floor,
+        consolidation_potential_kwh=potential,
+    )
+
+
+def packing_energy_comparison(
+    spread_utils: np.ndarray,
+    packed_utils: np.ndarray,
+    hours: float,
+    model: PowerModel | None = None,
+) -> tuple[float, float]:
+    """(spread_kwh, packed_kwh) for two per-node mean-utilisation vectors.
+
+    ``packed_utils`` may be shorter (empty nodes sleep); both vectors
+    describe the same total work.
+    """
+    model = model or PowerModel()
+    if hours <= 0:
+        raise ValueError("hours must be positive")
+    spread_kwh = float(np.sum(model.power_at(spread_utils))) * hours / 1000.0
+    packed_active = float(np.sum(model.power_at(packed_utils))) * hours / 1000.0
+    sleeping = len(spread_utils) - len(packed_utils)
+    if sleeping < 0:
+        raise ValueError("packed fleet cannot be larger than spread fleet")
+    packed_kwh = packed_active + sleeping * model.sleep_watts * hours / 1000.0
+    return spread_kwh, packed_kwh

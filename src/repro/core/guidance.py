@@ -1,0 +1,173 @@
+"""Section 7 guidance analytics: overcommit assessment and right-sizing.
+
+The paper's twofold CPU guidance: (1) reconsider the vCPU:pCPU overcommit
+factor per workload instead of a fleet-wide constant, and (2) recommend
+qualified right-sizing so users shrink requests toward actual usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.characterization import UTILIZATION_THRESHOLDS
+from repro.core.dataset import SAPCloudDataset
+from repro.frame import Frame
+
+
+@dataclass(frozen=True)
+class OvercommitAssessment:
+    """Workload-derived overcommit recommendation for one scope."""
+
+    scope: str
+    current_ratio: float
+    #: Demand-supported ratio: allocated vCPUs / peak demanded cores.
+    supportable_ratio: float
+    #: p95-based variant, more robust against single spikes.
+    supportable_ratio_p95: float
+    allocated_vcpus: float
+    physical_cores: float
+    peak_demand_cores: float
+
+    @property
+    def headroom(self) -> float:
+        """supportable / current; >1 means the ratio could be raised."""
+        if self.current_ratio <= 0:
+            return 0.0
+        return self.supportable_ratio / self.current_ratio
+
+
+def assess_overcommit(
+    dataset: SAPCloudDataset, bb_id: str | None = None
+) -> OvercommitAssessment:
+    """Derive a workload-based CPU overcommit factor (§7).
+
+    The supportable ratio answers: given observed peak CPU demand, how many
+    vCPUs could each physical core safely back?  It is computed as
+    ``allocated_vcpus / physical_cores × (physical_capacity / peak_demand)``
+    over the selected scope.
+    """
+    nodes = dataset.nodes_in(bb_id=bb_id)
+    if len(nodes) == 0:
+        raise ValueError("no nodes in scope")
+    node_ids = {str(n) for n in nodes["node_id"]}
+    physical_cores = float(np.sum(np.asarray(nodes["cores"], dtype=float)))
+
+    vm_mask = np.asarray([str(n) in node_ids for n in dataset.vms["node_id"]])
+    allocated_vcpus = float(
+        np.sum(np.asarray(dataset.vms["vcpus"], dtype=float)[vm_mask])
+    )
+
+    demand_peak = 0.0
+    demand_p95_sum = 0.0
+    metric = "vrops_hostsystem_cpu_core_utilization_percentage"
+    cores_by_node = {
+        str(n): float(c) for n, c in zip(nodes["node_id"], nodes["cores"])
+    }
+    for labels, series in dataset.store.select(metric):
+        node_id = labels.get("hostsystem", "")
+        if node_id not in node_ids or len(series) == 0:
+            continue
+        cores = cores_by_node[node_id]
+        demand_peak += series.max() / 100.0 * cores
+        demand_p95_sum += series.percentile(95) / 100.0 * cores
+    if demand_peak <= 0:
+        raise ValueError("no CPU telemetry in scope")
+
+    current_ratio = allocated_vcpus / physical_cores if physical_cores > 0 else 0.0
+    supportable = allocated_vcpus / demand_peak
+    supportable_p95 = allocated_vcpus / demand_p95_sum if demand_p95_sum > 0 else supportable
+    return OvercommitAssessment(
+        scope=bb_id or "region",
+        current_ratio=current_ratio,
+        supportable_ratio=supportable,
+        supportable_ratio_p95=supportable_p95,
+        allocated_vcpus=allocated_vcpus,
+        physical_cores=physical_cores,
+        peak_demand_cores=demand_peak,
+    )
+
+
+@dataclass(frozen=True)
+class RightsizingRecommendation:
+    """One VM's right-sizing proposal."""
+
+    vm_id: str
+    flavor: str
+    resource: str  # "cpu" or "memory"
+    current: float  # current allocation (vCPUs or GiB)
+    recommended: float
+    avg_utilization: float
+    saving_fraction: float
+
+
+def rightsizing_recommendations(
+    dataset: SAPCloudDataset,
+    target_utilization: float = 0.75,
+    min_saving: float = 0.25,
+) -> list[RightsizingRecommendation]:
+    """Qualified right-sizing: shrink underutilised allocations (§7).
+
+    Proposes a new size so average utilisation would land on
+    ``target_utilization`` (the middle of the paper's optimal band), but
+    only when the saving is at least ``min_saving`` of the allocation and
+    the VM is currently classified underutilised.
+    """
+    if not 0.0 < target_utilization <= 1.0:
+        raise ValueError("target_utilization must be within (0, 1]")
+    low, _high = UTILIZATION_THRESHOLDS
+    out: list[RightsizingRecommendation] = []
+    vm_ids = dataset.vms["vm_id"]
+    flavors = dataset.vms["flavor"]
+    for resource, ratio_col, size_col, quantum in (
+        ("cpu", "cpu_avg_ratio", "vcpus", 1.0),
+        ("memory", "mem_avg_ratio", "ram_gib", 1.0),
+    ):
+        ratios = np.asarray(dataset.vms[ratio_col], dtype=float)
+        sizes = np.asarray(dataset.vms[size_col], dtype=float)
+        for i in range(len(ratios)):
+            if ratios[i] >= low:
+                continue
+            needed = sizes[i] * ratios[i] / target_utilization
+            recommended = max(quantum, float(np.ceil(needed / quantum) * quantum))
+            saving = (sizes[i] - recommended) / sizes[i] if sizes[i] > 0 else 0.0
+            if saving < min_saving:
+                continue
+            out.append(
+                RightsizingRecommendation(
+                    vm_id=str(vm_ids[i]),
+                    flavor=str(flavors[i]),
+                    resource=resource,
+                    current=float(sizes[i]),
+                    recommended=recommended,
+                    avg_utilization=float(ratios[i]),
+                    saving_fraction=float(saving),
+                )
+            )
+    out.sort(key=lambda r: -r.saving_fraction)
+    return out
+
+
+def rightsizing_summary(dataset: SAPCloudDataset) -> Frame:
+    """Aggregate right-sizing potential per resource."""
+    recs = rightsizing_recommendations(dataset)
+    records = []
+    for resource in ("cpu", "memory"):
+        subset = [r for r in recs if r.resource == resource]
+        total_current = sum(r.current for r in subset)
+        total_recommended = sum(r.recommended for r in subset)
+        records.append(
+            {
+                "resource": resource,
+                "vms_affected": len(subset),
+                "current_total": total_current,
+                "recommended_total": total_recommended,
+                "reclaimable_fraction": (
+                    (total_current - total_recommended) / total_current
+                    if total_current > 0
+                    else 0.0
+                ),
+            }
+        )
+    return Frame.from_records(records)

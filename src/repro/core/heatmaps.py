@@ -1,0 +1,152 @@
+"""Free-resource heatmaps (Figs 5–7 and 10–13).
+
+Each heatmap is a (days × entities) matrix of daily-average *free* resource
+percentages.  Rows are days of the observation window, columns compute
+nodes or building blocks sorted left-to-right from most to least free (as
+in the paper); missing data (node added/removed mid-window, maintenance)
+stays NaN and renders as the paper's white cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import SAPCloudDataset
+from repro.telemetry.timeseries import SECONDS_PER_DAY, TimeSeries
+
+#: Heatmap-capable metrics and how to convert a sample to "free percent".
+_METRIC_TO_FREE = {
+    "cpu": ("vrops_hostsystem_cpu_core_utilization_percentage", "percent_used"),
+    "memory": ("vrops_hostsystem_memory_usage_percentage", "percent_used"),
+    "network_tx": ("vrops_hostsystem_network_bytes_tx_kbps", "kbps"),
+    "network_rx": ("vrops_hostsystem_network_bytes_rx_kbps", "kbps"),
+    "storage": ("vrops_hostsystem_diskspace_usage_gigabytes", "gigabytes"),
+}
+
+
+@dataclass
+class HeatmapResult:
+    """A rendered heatmap: values plus row/column labels."""
+
+    resource: str
+    #: (n_days, n_columns) matrix of free-resource percentages; NaN = no data.
+    matrix: np.ndarray
+    day_starts: np.ndarray
+    columns: list[str]
+    level: str  # "node" or "building_block"
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape
+
+    def column_means(self) -> np.ndarray:
+        """Per-column mean free percentage over all days (NaN-aware)."""
+        return np.nanmean(self.matrix, axis=0)
+
+    def spread(self) -> float:
+        """Max-minus-min of column means: the imbalance the paper reports."""
+        means = self.column_means()
+        finite = means[np.isfinite(means)]
+        if len(finite) == 0:
+            return 0.0
+        return float(finite.max() - finite.min())
+
+
+def free_resource_heatmap(
+    dataset: SAPCloudDataset,
+    resource: str = "cpu",
+    dc_id: str | None = None,
+    bb_id: str | None = None,
+    level: str = "node",
+) -> HeatmapResult:
+    """Build a daily-average free-resource heatmap.
+
+    - ``resource``: cpu, memory, network_tx, network_rx, or storage;
+    - ``dc_id`` restricts to one data center (Figs 5, 10–13);
+    - ``bb_id`` restricts to one building block (Fig 7);
+    - ``level="building_block"`` averages columns per BB (Fig 6).
+    """
+    if resource not in _METRIC_TO_FREE:
+        raise ValueError(
+            f"unknown resource {resource!r}; known: {sorted(_METRIC_TO_FREE)}"
+        )
+    metric, kind = _METRIC_TO_FREE[resource]
+    if level not in ("node", "building_block"):
+        raise ValueError("level must be 'node' or 'building_block'")
+
+    nodes = dataset.nodes_in(bb_id=bb_id, dc_id=dc_id)
+    if len(nodes) == 0:
+        raise ValueError("no nodes match the requested scope")
+
+    day_starts = np.arange(
+        np.floor(dataset.window_start / SECONDS_PER_DAY) * SECONDS_PER_DAY,
+        dataset.window_end,
+        SECONDS_PER_DAY,
+    )
+    n_days = len(day_starts)
+
+    node_ids = [str(v) for v in nodes["node_id"]]
+    node_bb = {str(n): str(b) for n, b in zip(nodes["node_id"], nodes["bb_id"])}
+    capacities = _capacity_lookup(dataset, resource)
+
+    per_node = np.full((n_days, len(node_ids)), np.nan)
+    for j, node_id in enumerate(node_ids):
+        series = dataset.node_series(metric, node_id)
+        if len(series) == 0:
+            continue
+        daily = series.daily("mean", origin=day_starts[0])
+        idx = ((daily.timestamps - day_starts[0]) / SECONDS_PER_DAY).astype(int)
+        valid = (idx >= 0) & (idx < n_days)
+        free = _to_free_percent(daily.values, kind, capacities.get(node_id))
+        per_node[idx[valid], j] = free[valid]
+
+    if level == "node":
+        matrix, columns = per_node, node_ids
+    else:
+        bb_ids = sorted({node_bb[n] for n in node_ids})
+        matrix = np.full((n_days, len(bb_ids)), np.nan)
+        for k, bb in enumerate(bb_ids):
+            members = [j for j, n in enumerate(node_ids) if node_bb[n] == bb]
+            with np.errstate(all="ignore"):
+                matrix[:, k] = np.nanmean(per_node[:, members], axis=1)
+        columns = bb_ids
+
+    # Paper convention: sort columns most-free to least-free.
+    with np.errstate(all="ignore"):
+        means = np.nanmean(matrix, axis=0)
+    means = np.where(np.isfinite(means), means, -np.inf)
+    order = np.argsort(-means, kind="stable")
+    return HeatmapResult(
+        resource=resource,
+        matrix=matrix[:, order],
+        day_starts=day_starts,
+        columns=[columns[i] for i in order],
+        level=level,
+    )
+
+
+def _capacity_lookup(dataset: SAPCloudDataset, resource: str) -> dict[str, float]:
+    """Per-node capacity in the metric's native unit (for non-% metrics)."""
+    out: dict[str, float] = {}
+    ids = dataset.nodes["node_id"]
+    if resource in ("network_tx", "network_rx"):
+        caps = np.asarray(dataset.nodes["nic_gbps"], dtype=float) * 1e6  # kbps
+    elif resource == "storage":
+        caps = np.asarray(dataset.nodes["disk_gb"], dtype=float)
+    else:
+        return out
+    for node_id, cap in zip(ids, caps):
+        out[str(node_id)] = float(cap)
+    return out
+
+
+def _to_free_percent(
+    values: np.ndarray, kind: str, capacity: float | None
+) -> np.ndarray:
+    if kind == "percent_used":
+        return 100.0 - values
+    if capacity is None or capacity <= 0:
+        return np.full(len(values), np.nan)
+    return 100.0 * (1.0 - np.clip(values / capacity, 0.0, 1.0))

@@ -1,0 +1,102 @@
+"""Imbalance and fragmentation scoring (§5.1, §7).
+
+Quantifies the two fragmentation phenomena the paper attributes to the
+two-layer scheduling split: imbalance *within* building blocks (DRS scope,
+Fig 7 — intra-BB node maxima up to 99% CPU while siblings idle) and
+imbalance *across* building blocks (requiring manual rebalancing, Fig 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import SAPCloudDataset
+from repro.core.heatmaps import free_resource_heatmap
+from repro.frame import Frame
+
+
+def intra_bb_spread(
+    dataset: SAPCloudDataset, bb_id: str, resource: str = "cpu"
+) -> dict[str, float]:
+    """Utilisation spread across one BB's nodes.
+
+    Returns min/max/mean of per-node mean *used* percent plus the spread.
+    Fig 7's finding: intra-BB maxima up to 99% used next to mostly-free
+    siblings.
+    """
+    heatmap = free_resource_heatmap(dataset, resource=resource, bb_id=bb_id)
+    free_means = heatmap.column_means()
+    used = 100.0 - free_means[np.isfinite(free_means)]
+    if len(used) == 0:
+        raise ValueError(f"no data for building block {bb_id}")
+    return {
+        "min_used_pct": float(used.min()),
+        "max_used_pct": float(used.max()),
+        "mean_used_pct": float(used.mean()),
+        "spread_pct": float(used.max() - used.min()),
+        "node_count": float(len(used)),
+    }
+
+
+def bb_imbalance_report(
+    dataset: SAPCloudDataset, resource: str = "cpu", dc_id: str | None = None
+) -> Frame:
+    """Per-BB imbalance table: mean used %, intra-BB spread, node count."""
+    records = []
+    for bb_id in dataset.building_blocks():
+        if dc_id is not None:
+            bb_nodes = dataset.nodes_in(bb_id=bb_id)
+            if len(bb_nodes) == 0 or str(bb_nodes["dc_id"][0]) != dc_id:
+                continue
+        try:
+            stats = intra_bb_spread(dataset, bb_id, resource=resource)
+        except ValueError:
+            continue
+        records.append(
+            {
+                "bb_id": bb_id,
+                "mean_used_pct": stats["mean_used_pct"],
+                "max_used_pct": stats["max_used_pct"],
+                "spread_pct": stats["spread_pct"],
+                "node_count": int(stats["node_count"]),
+            }
+        )
+    if not records:
+        return Frame.empty(
+            ["bb_id", "mean_used_pct", "max_used_pct", "spread_pct", "node_count"]
+        )
+    return Frame.from_records(records).sort("spread_pct", reverse=True)
+
+
+def inter_bb_imbalance(
+    dataset: SAPCloudDataset, resource: str = "cpu", dc_id: str | None = None
+) -> float:
+    """Standard deviation of per-BB mean used % (cross-BB fragmentation)."""
+    report = bb_imbalance_report(dataset, resource=resource, dc_id=dc_id)
+    if len(report) < 2:
+        return 0.0
+    return float(np.std(np.asarray(report["mean_used_pct"], dtype=float)))
+
+
+def fragmentation_score(
+    dataset: SAPCloudDataset, resource: str = "cpu", dc_id: str | None = None
+) -> float:
+    """Stranded-capacity score in [0, 1].
+
+    Fraction of total free capacity that sits on nodes which are
+    individually too empty to matter (>50% free) while other nodes in the
+    same scope run hot (>80% used) — free capacity that exists but cannot
+    be used without migrations.  0 means no hot node or no stranded free
+    capacity.
+    """
+    heatmap = free_resource_heatmap(dataset, resource=resource, dc_id=dc_id)
+    free_means = heatmap.column_means()
+    free_means = free_means[np.isfinite(free_means)]
+    if len(free_means) == 0:
+        return 0.0
+    hot = free_means < 20.0
+    cold_free = free_means[free_means > 50.0]
+    if not hot.any() or len(cold_free) == 0:
+        return 0.0
+    total_free = free_means.sum()
+    return float(cold_free.sum() / total_free) if total_free > 0 else 0.0

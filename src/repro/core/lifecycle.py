@@ -1,0 +1,115 @@
+"""Lifecycle-event analysis.
+
+§8 lists "the number of VM migrations" among the metrics planned for
+future dataset revisions; the events table already carries creations,
+deletions, resizes, and migrations.  This module derives the event-rate
+views: daily arrival/departure/migration/resize counts, churn ratios, and
+the population trajectory over the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import SAPCloudDataset
+from repro.frame import Frame
+from repro.telemetry.timeseries import SECONDS_PER_DAY, TimeSeries
+
+EVENT_KINDS = ("create", "delete", "migrate", "resize")
+
+
+@dataclass(frozen=True)
+class LifecycleSummary:
+    """Window-level event totals and derived ratios."""
+
+    creates: int
+    deletes: int
+    migrations: int
+    resizes: int
+    window_days: float
+
+    @property
+    def daily_arrival_rate(self) -> float:
+        return self.creates / self.window_days if self.window_days > 0 else 0.0
+
+    @property
+    def daily_departure_rate(self) -> float:
+        return self.deletes / self.window_days if self.window_days > 0 else 0.0
+
+    @property
+    def migrations_per_day(self) -> float:
+        return self.migrations / self.window_days if self.window_days > 0 else 0.0
+
+
+def lifecycle_summary(dataset: SAPCloudDataset) -> LifecycleSummary:
+    """Totals of each event kind over the observation window."""
+    kinds = [str(k) for k in dataset.events["event"]]
+    return LifecycleSummary(
+        creates=kinds.count("create"),
+        deletes=kinds.count("delete"),
+        migrations=kinds.count("migrate"),
+        resizes=kinds.count("resize"),
+        window_days=(dataset.window_end - dataset.window_start) / SECONDS_PER_DAY,
+    )
+
+
+def daily_event_counts(dataset: SAPCloudDataset) -> Frame:
+    """One row per day with per-kind event counts."""
+    times = np.asarray(dataset.events["time"], dtype=float)
+    kinds = np.asarray([str(k) for k in dataset.events["event"]], dtype=object)
+    day_starts = np.arange(
+        np.floor(dataset.window_start / SECONDS_PER_DAY) * SECONDS_PER_DAY,
+        dataset.window_end,
+        SECONDS_PER_DAY,
+    )
+    records = []
+    for start in day_starts:
+        in_day = (times >= start) & (times < start + SECONDS_PER_DAY)
+        row = {"day": float(start)}
+        for kind in EVENT_KINDS:
+            row[kind] = int(np.sum(in_day & (kinds == kind)))
+        records.append(row)
+    return Frame.from_records(records)
+
+
+def population_trajectory(dataset: SAPCloudDataset) -> TimeSeries:
+    """Alive-VM count at each day boundary, from the inventory."""
+    created = np.asarray(dataset.vms["created_at"], dtype=float)
+    deleted = np.asarray(
+        [np.inf if d != d else float(d) for d in dataset.vms["deleted_at"]],
+        dtype=float,
+    )
+    day_starts = np.arange(
+        dataset.window_start, dataset.window_end, SECONDS_PER_DAY
+    )
+    counts = [
+        float(np.sum((created <= t) & (deleted > t))) for t in day_starts
+    ]
+    return TimeSeries(day_starts, counts)
+
+
+def churn_ratio(dataset: SAPCloudDataset) -> float:
+    """Window arrivals as a fraction of the mean standing population.
+
+    The SAP workload is long-lived (Fig 15), so unlike the batch traces of
+    Table 3 this ratio is well below 1.
+    """
+    summary = lifecycle_summary(dataset)
+    trajectory = population_trajectory(dataset)
+    mean_population = trajectory.mean()
+    if mean_population <= 0:
+        raise ValueError("dataset has no standing population")
+    return summary.creates / mean_population
+
+
+def migration_report(dataset: SAPCloudDataset) -> Frame:
+    """Per-VM migration counts for VMs that moved (the §8 metric)."""
+    moved_mask = np.asarray(dataset.vms["migrations"], dtype=float) > 0
+    moved = dataset.vms.filter(moved_mask)
+    if len(moved) == 0:
+        return Frame.empty(["vm_id", "flavor", "migrations"])
+    return moved.select(["vm_id", "flavor", "migrations"]).sort(
+        "migrations", reverse=True
+    )

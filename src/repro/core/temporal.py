@@ -1,0 +1,144 @@
+"""Temporal structure of node utilisation (§5.1, §7).
+
+The paper's first guidance point rests on a temporal observation: "the
+resource utilization over most compute nodes is relatively static within
+the considered time frame", with a minority fluctuating or trending.  This
+module quantifies that: per-node variability classification
+(static / trending / fluctuating), lag-autocorrelation, and detection of
+daily periodicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import SAPCloudDataset
+from repro.frame import Frame
+from repro.telemetry.timeseries import SECONDS_PER_DAY, TimeSeries
+
+CPU_METRIC = "vrops_hostsystem_cpu_core_utilization_percentage"
+
+
+@dataclass(frozen=True)
+class NodeTemporalProfile:
+    """Temporal classification of one node's utilisation series."""
+
+    node_id: str
+    mean_pct: float
+    std_pct: float
+    #: Linear trend in percentage points per day.
+    trend_pp_per_day: float
+    #: Lag-1-day autocorrelation of the daily means.
+    daily_autocorrelation: float
+    classification: str  # "static" | "trending" | "fluctuating"
+
+
+def classify_node_series(
+    node_id: str,
+    series: TimeSeries,
+    static_std_pp: float = 5.0,
+    trend_pp_per_day: float = 0.5,
+) -> NodeTemporalProfile:
+    """Classify one node's utilisation series.
+
+    A node is *static* when its daily means barely move (std below
+    ``static_std_pp``), *trending* when a sustained drift exceeds
+    ``trend_pp_per_day``, and *fluctuating* otherwise.
+    """
+    if len(series) < 2:
+        raise ValueError("need at least two samples")
+    daily = series.daily("mean")
+    values = daily.values
+    days = (daily.timestamps - daily.timestamps[0]) / SECONDS_PER_DAY
+    if len(values) >= 2 and np.std(days) > 0:
+        trend = float(np.polyfit(days, values, deg=1)[0])
+    else:
+        trend = 0.0
+    std = float(np.std(values))
+    if abs(trend) >= trend_pp_per_day and abs(trend) * len(values) > std:
+        classification = "trending"
+    elif std <= static_std_pp:
+        classification = "static"
+    else:
+        classification = "fluctuating"
+    return NodeTemporalProfile(
+        node_id=node_id,
+        mean_pct=float(np.mean(values)),
+        std_pct=std,
+        trend_pp_per_day=trend,
+        daily_autocorrelation=_lag_autocorrelation(values, lag=1),
+        classification=classification,
+    )
+
+
+def temporal_profiles(dataset: SAPCloudDataset) -> list[NodeTemporalProfile]:
+    """Temporal classification for every node in the dataset."""
+    profiles = []
+    for labels, series in dataset.store.select(CPU_METRIC):
+        if len(series) < 2:
+            continue
+        profiles.append(classify_node_series(labels["hostsystem"], series))
+    return profiles
+
+
+def static_node_share(dataset: SAPCloudDataset) -> float:
+    """Fraction of nodes classified static — §7 expects this to dominate."""
+    profiles = temporal_profiles(dataset)
+    if not profiles:
+        raise ValueError("dataset has no CPU telemetry")
+    return sum(1 for p in profiles if p.classification == "static") / len(profiles)
+
+
+def temporal_summary(dataset: SAPCloudDataset) -> Frame:
+    """Counts and mean variability per temporal class."""
+    profiles = temporal_profiles(dataset)
+    records = []
+    for name in ("static", "trending", "fluctuating"):
+        members = [p for p in profiles if p.classification == name]
+        records.append(
+            {
+                "classification": name,
+                "node_count": len(members),
+                "share": len(members) / len(profiles) if profiles else 0.0,
+                "mean_std_pp": (
+                    float(np.mean([p.std_pct for p in members])) if members else 0.0
+                ),
+            }
+        )
+    return Frame.from_records(records)
+
+
+def diurnal_strength(series: TimeSeries) -> float:
+    """How strongly a series follows a daily cycle, in [0, 1].
+
+    Ratio of between-hour-of-day variance to total variance of the
+    samples: 1.0 means the hour of day fully determines the value.
+    """
+    if len(series) < 48:
+        raise ValueError("need at least two days of samples")
+    hours = ((series.timestamps % SECONDS_PER_DAY) // 3600).astype(int)
+    total_var = float(np.var(series.values))
+    if total_var == 0:
+        return 0.0
+    hour_means = np.asarray(
+        [series.values[hours == h].mean() for h in np.unique(hours)]
+    )
+    weights = np.asarray([(hours == h).sum() for h in np.unique(hours)])
+    grand = float(np.average(hour_means, weights=weights))
+    between = float(
+        np.average((hour_means - grand) ** 2, weights=weights)
+    )
+    return min(1.0, between / total_var)
+
+
+def _lag_autocorrelation(values: np.ndarray, lag: int) -> float:
+    if len(values) <= lag + 1:
+        return 0.0
+    a = values[:-lag] - values[:-lag].mean()
+    b = values[lag:] - values[lag:].mean()
+    denom = np.sqrt(np.sum(a**2) * np.sum(b**2))
+    if denom == 0:
+        return 0.0
+    return float(np.sum(a * b) / denom)

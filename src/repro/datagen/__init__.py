@@ -1,0 +1,21 @@
+"""Calibrated synthetic regeneration of the SAP Cloud Infrastructure trace.
+
+The build environment cannot download the Zenodo archive, so this package
+generates a statistically equivalent dataset: the topology of the studied
+region, a VM population matching Tables 1–2, demand processes reproducing
+the Fig 14 utilisation CDFs, per-node telemetry with the contention/ready
+characteristics of Figs 8–9, and the lifetime spectrum of Fig 15.  See
+DESIGN.md for the substitution rationale and the calibration target list.
+"""
+
+from repro.datagen.config import GeneratorConfig
+from repro.datagen.population import FLAVOR_MIX, VMRecord, sample_population
+from repro.datagen.generator import generate_dataset
+
+__all__ = [
+    "GeneratorConfig",
+    "FLAVOR_MIX",
+    "VMRecord",
+    "sample_population",
+    "generate_dataset",
+]

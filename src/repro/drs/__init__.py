@@ -1,0 +1,22 @@
+"""VMware DRS simulator: intra-building-block load balancing.
+
+The second scheduling layer of the SAP architecture (§3.1): Nova places a VM
+onto a vSphere cluster (building block); DRS then "monitors the load of the
+ESXi hosts and triggers automatic migrations of VMs from over-utilized to
+less utilized hosts".  This package reproduces that loop: an imbalance
+metric over member nodes, migration recommendations with cost thresholds,
+and optional affinity rules.
+"""
+
+from repro.drs.balancer import DrsBalancer, DrsConfig, Migration
+from repro.drs.recommendations import Recommendation, recommend_moves
+from repro.drs.affinity import AffinityRules
+
+__all__ = [
+    "DrsBalancer",
+    "DrsConfig",
+    "Migration",
+    "Recommendation",
+    "recommend_moves",
+    "AffinityRules",
+]

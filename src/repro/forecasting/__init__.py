@@ -1,0 +1,28 @@
+"""Workload forecasting for proactive scheduling.
+
+§7: "a unified, ideally even proactive, approach may also reduce the
+number of required workload migrations."  Proactivity needs demand
+forecasts; this package provides exponentially-weighted and
+seasonality-aware forecasters over the telemetry time series, plus a
+forecast-driven weigher that steers placements away from hosts *about* to
+run hot.
+"""
+
+from repro.forecasting.models import (
+    EwmaForecaster,
+    Forecast,
+    HoltLinearForecaster,
+    SeasonalNaiveForecaster,
+    evaluate_forecaster,
+)
+from repro.forecasting.proactive import ForecastWeigher, forecast_host_load
+
+__all__ = [
+    "Forecast",
+    "EwmaForecaster",
+    "HoltLinearForecaster",
+    "SeasonalNaiveForecaster",
+    "evaluate_forecaster",
+    "ForecastWeigher",
+    "forecast_host_load",
+]

@@ -1,0 +1,119 @@
+"""Time-series forecasters.
+
+Three classic, dependency-free models suited to the dataset's shapes:
+
+- :class:`EwmaForecaster` — exponentially weighted level; the right
+  baseline for the paper's "relatively static" node utilisation;
+- :class:`HoltLinearForecaster` — level + trend, for the nodes §5.1
+  observes with "a consistent increase in CPU demand";
+- :class:`SeasonalNaiveForecaster` — repeats the value one season ago, for
+  the diurnal/weekly business-hours patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.timeseries import TimeSeries
+
+
+@dataclass(frozen=True, slots=True)
+class Forecast:
+    """Point forecasts for the next ``horizon`` steps."""
+
+    timestamps: np.ndarray
+    values: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class EwmaForecaster:
+    """Flat forecast at the exponentially weighted moving average."""
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be within (0, 1]")
+        self.alpha = alpha
+
+    def forecast(self, series: TimeSeries, horizon: int) -> Forecast:
+        if len(series) == 0:
+            raise ValueError("cannot forecast an empty series")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        level = series.values[0]
+        for value in series.values[1:]:
+            level = self.alpha * value + (1 - self.alpha) * level
+        step = _step_of(series)
+        ts = series.timestamps[-1] + step * np.arange(1, horizon + 1)
+        return Forecast(ts, np.full(horizon, level))
+
+
+class HoltLinearForecaster:
+    """Holt's linear method: exponentially smoothed level and trend."""
+
+    def __init__(self, alpha: float = 0.3, beta: float = 0.1) -> None:
+        if not 0.0 < alpha <= 1.0 or not 0.0 < beta <= 1.0:
+            raise ValueError("alpha and beta must be within (0, 1]")
+        self.alpha = alpha
+        self.beta = beta
+
+    def forecast(self, series: TimeSeries, horizon: int) -> Forecast:
+        if len(series) < 2:
+            raise ValueError("Holt's method needs at least two samples")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        level = series.values[0]
+        trend = series.values[1] - series.values[0]
+        for value in series.values[1:]:
+            prev_level = level
+            level = self.alpha * value + (1 - self.alpha) * (level + trend)
+            trend = self.beta * (level - prev_level) + (1 - self.beta) * trend
+        step = _step_of(series)
+        steps = np.arange(1, horizon + 1)
+        ts = series.timestamps[-1] + step * steps
+        return Forecast(ts, level + trend * steps)
+
+
+class SeasonalNaiveForecaster:
+    """Repeat the observation one season ago (daily/weekly periodicity)."""
+
+    def __init__(self, season_seconds: float = 86_400.0) -> None:
+        if season_seconds <= 0:
+            raise ValueError("season_seconds must be positive")
+        self.season_seconds = season_seconds
+
+    def forecast(self, series: TimeSeries, horizon: int) -> Forecast:
+        if len(series) == 0:
+            raise ValueError("cannot forecast an empty series")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        step = _step_of(series)
+        span = series.timestamps[-1] - series.timestamps[0]
+        if span < self.season_seconds:
+            raise ValueError("series shorter than one season")
+        ts = series.timestamps[-1] + step * np.arange(1, horizon + 1)
+        values = np.empty(horizon)
+        for i, t in enumerate(ts):
+            past = series.at_or_before(t - self.season_seconds)
+            values[i] = past if past is not None else series.values[-1]
+        return Forecast(ts, values)
+
+
+def evaluate_forecaster(forecaster, series: TimeSeries, horizon: int) -> float:
+    """Backtest MAE: forecast the final ``horizon`` points from the rest."""
+    if len(series) <= horizon + 1:
+        raise ValueError("series too short for this horizon")
+    split = len(series) - horizon
+    train = TimeSeries(series.timestamps[:split], series.values[:split])
+    actual = series.values[split:]
+    predicted = forecaster.forecast(train, horizon).values
+    return float(np.mean(np.abs(predicted - actual)))
+
+
+def _step_of(series: TimeSeries) -> float:
+    if len(series) < 2:
+        return 300.0
+    return float(np.median(np.diff(series.timestamps)))

@@ -1,0 +1,68 @@
+"""Forecast-driven proactive placement.
+
+Turns per-host utilisation forecasts into a scheduler weigher: hosts whose
+*predicted* peak CPU over the lookahead window is high get penalised, even
+if they look fine right now — the proactive behaviour §7 recommends over
+Nova's "solely relies on current data".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.forecasting.models import EwmaForecaster, HoltLinearForecaster
+from repro.scheduler.hoststate import HostState
+from repro.scheduler.request import RequestSpec
+from repro.scheduler.weighers import Weigher
+from repro.telemetry.store import MetricStore
+
+CPU_METRIC = "vrops_hostsystem_cpu_core_utilization_percentage"
+
+
+def forecast_host_load(
+    store: MetricStore,
+    horizon_steps: int = 8,
+    label: str = "building_block",
+) -> dict[str, float]:
+    """Predicted peak CPU % per host group over the lookahead horizon.
+
+    Aggregates node series per ``label`` value (defaults to building block,
+    the Nova placement target), forecasts each node with Holt's method
+    (falling back to EWMA for short series), and returns the max predicted
+    value per group.
+    """
+    holt = HoltLinearForecaster()
+    ewma = EwmaForecaster()
+    peaks: dict[str, float] = {}
+    for labels, series in store.select(CPU_METRIC):
+        group = labels.get(label)
+        if group is None or len(series) == 0:
+            continue
+        try:
+            forecast = holt.forecast(series, horizon_steps)
+        except ValueError:
+            forecast = ewma.forecast(series, horizon_steps)
+        predicted_peak = float(np.clip(forecast.values, 0.0, 100.0).max())
+        peaks[group] = max(peaks.get(group, 0.0), predicted_peak)
+    return peaks
+
+
+class ForecastWeigher(Weigher):
+    """Penalises hosts by predicted peak CPU utilisation.
+
+    ``predicted_peaks`` maps host_id to a forecast peak percentage, as
+    produced by :func:`forecast_host_load`.
+    """
+
+    name = "ForecastWeigher"
+
+    def __init__(
+        self, predicted_peaks: Mapping[str, float], multiplier: float = 1.5
+    ) -> None:
+        super().__init__(multiplier)
+        self.predicted_peaks = predicted_peaks
+
+    def raw_weight(self, host: HostState, spec: RequestSpec) -> float:
+        return -float(self.predicted_peaks.get(host.host_id, 0.0))

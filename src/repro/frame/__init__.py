@@ -1,0 +1,14 @@
+"""Minimal columnar data table used throughout the analysis pipeline.
+
+The public SAP dataset ships as CSV files; the original authors analysed it
+with pandas.  This environment has no pandas, so :mod:`repro.frame` provides
+the small, typed subset of tabular operations the analyses need: column
+selection, row filtering, group-by aggregation, sorting, joins, and CSV
+round-tripping.  Columns are numpy arrays, so vectorised math works directly.
+"""
+
+from repro.frame.frame import Frame
+from repro.frame.groupby import GroupBy
+from repro.frame.csvio import read_csv, write_csv
+
+__all__ = ["Frame", "GroupBy", "read_csv", "write_csv"]

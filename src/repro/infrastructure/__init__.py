@@ -1,0 +1,45 @@
+"""Infrastructure model: the region → AZ → DC → building block → node hierarchy.
+
+Mirrors the hierarchy of Section 2.1/Figure 1 of the paper.  A *building
+block* (BB) is a vSphere cluster of uniform ESXi compute nodes; Nova sees a
+whole BB as one compute host, while VMware DRS balances VMs across the nodes
+inside it.
+"""
+
+from repro.infrastructure.capacity import Capacity, OvercommitPolicy
+from repro.infrastructure.flavors import Flavor, FlavorCatalog, default_catalog
+from repro.infrastructure.vm import VM, VMState
+from repro.infrastructure.hierarchy import (
+    AvailabilityZone,
+    BuildingBlock,
+    ComputeNode,
+    DataCenter,
+    Region,
+)
+from repro.infrastructure.topology import (
+    DatacenterSpec,
+    TopologySpec,
+    build_region,
+    paper_datacenter_table,
+    paper_region_spec,
+)
+
+__all__ = [
+    "Capacity",
+    "OvercommitPolicy",
+    "Flavor",
+    "FlavorCatalog",
+    "default_catalog",
+    "VM",
+    "VMState",
+    "Region",
+    "AvailabilityZone",
+    "DataCenter",
+    "BuildingBlock",
+    "ComputeNode",
+    "DatacenterSpec",
+    "TopologySpec",
+    "build_region",
+    "paper_datacenter_table",
+    "paper_region_spec",
+]

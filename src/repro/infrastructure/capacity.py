@@ -1,0 +1,130 @@
+"""Resource capacity vectors and overcommit policy.
+
+Capacities cover the four resources the paper's telemetry tracks per node:
+vCPUs, memory, local storage, and network bandwidth (Table 4).  Overcommit
+follows the OpenStack convention of per-resource allocation ratios — the
+paper's Section 7 discusses the vCPU:pCPU overcommit factor explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Capacity:
+    """A physical or requested resource vector.
+
+    Attributes
+    ----------
+    vcpus:
+        CPU cores.  On a node this is physical cores (pCPU); on a VM or
+        flavor it is virtual cores (vCPU).
+    memory_mb:
+        Memory in MiB.
+    disk_gb:
+        Local storage in GiB.
+    network_gbps:
+        NIC bandwidth in Gbit/s.  The paper's nodes have 200 Gbps NICs.
+    """
+
+    vcpus: float = 0.0
+    memory_mb: float = 0.0
+    disk_gb: float = 0.0
+    network_gbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field in ("vcpus", "memory_mb", "disk_gb", "network_gbps"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be non-negative")
+
+    def __add__(self, other: "Capacity") -> "Capacity":
+        return Capacity(
+            self.vcpus + other.vcpus,
+            self.memory_mb + other.memory_mb,
+            self.disk_gb + other.disk_gb,
+            self.network_gbps + other.network_gbps,
+        )
+
+    def __sub__(self, other: "Capacity") -> "Capacity":
+        return Capacity(
+            max(0.0, self.vcpus - other.vcpus),
+            max(0.0, self.memory_mb - other.memory_mb),
+            max(0.0, self.disk_gb - other.disk_gb),
+            max(0.0, self.network_gbps - other.network_gbps),
+        )
+
+    def scaled(self, factor: float) -> "Capacity":
+        """This capacity with every component multiplied by ``factor``."""
+        return Capacity(
+            self.vcpus * factor,
+            self.memory_mb * factor,
+            self.disk_gb * factor,
+            self.network_gbps * factor,
+        )
+
+    def fits_within(self, other: "Capacity") -> bool:
+        """True when every component of ``self`` fits in ``other``."""
+        return (
+            self.vcpus <= other.vcpus
+            and self.memory_mb <= other.memory_mb
+            and self.disk_gb <= other.disk_gb
+            and self.network_gbps <= other.network_gbps
+        )
+
+    def dominant_share(self, total: "Capacity") -> float:
+        """Largest per-resource fraction of ``self`` relative to ``total``.
+
+        This is the dominant-resource share used by multi-dimensional
+        bin-packing heuristics; resources with zero total are ignored.
+        """
+        shares = []
+        for mine, whole in (
+            (self.vcpus, total.vcpus),
+            (self.memory_mb, total.memory_mb),
+            (self.disk_gb, total.disk_gb),
+            (self.network_gbps, total.network_gbps),
+        ):
+            if whole > 0:
+                shares.append(mine / whole)
+        return max(shares) if shares else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class OvercommitPolicy:
+    """Per-resource OpenStack-style allocation ratios.
+
+    A ratio of 4.0 for CPU means 4 vCPUs may be allocated per physical core
+    (``cpu_allocation_ratio``).  The paper (§7) notes SAP derives the
+    overcommit factor as the vCPU:pCPU ratio and recommends making it
+    workload-dependent.
+    """
+
+    cpu_ratio: float = 4.0
+    memory_ratio: float = 1.0
+    disk_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field in ("cpu_ratio", "memory_ratio", "disk_ratio"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+
+    def allocatable(self, physical: Capacity) -> Capacity:
+        """Allocatable capacity given the physical capacity of a node."""
+        return Capacity(
+            physical.vcpus * self.cpu_ratio,
+            physical.memory_mb * self.memory_ratio,
+            physical.disk_gb * self.disk_ratio,
+            physical.network_gbps,
+        )
+
+
+#: Policy for memory-bound SAP HANA building blocks — memory is never
+#: overcommitted (in-memory databases need residency, §6); the CPU ratio is
+#: set so memory, not vCPUs, is the binding dimension for the HANA flavor
+#: family (~16 GiB per vCPU), matching the bin-packed, memory-first
+#: treatment the paper describes (§3.2).
+HANA_OVERCOMMIT = OvercommitPolicy(cpu_ratio=3.5, memory_ratio=1.0, disk_ratio=1.0)
+
+#: Default policy for general-purpose building blocks.
+GENERAL_OVERCOMMIT = OvercommitPolicy(cpu_ratio=4.0, memory_ratio=1.0, disk_ratio=1.5)

@@ -1,0 +1,99 @@
+"""Virtual machine model and lifecycle states."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.infrastructure.capacity import Capacity
+from repro.infrastructure.flavors import Flavor
+
+
+class VMState(enum.Enum):
+    """Lifecycle states, following Nova's instance state machine (reduced)."""
+
+    REQUESTED = "requested"
+    BUILDING = "building"
+    ACTIVE = "active"
+    MIGRATING = "migrating"
+    RESIZING = "resizing"
+    DELETED = "deleted"
+    ERROR = "error"
+
+
+#: Legal state transitions; anything else raises in :meth:`VM.transition`.
+_TRANSITIONS: dict[VMState, frozenset[VMState]] = {
+    VMState.REQUESTED: frozenset({VMState.BUILDING, VMState.ERROR}),
+    VMState.BUILDING: frozenset({VMState.ACTIVE, VMState.ERROR, VMState.DELETED}),
+    VMState.ACTIVE: frozenset(
+        {VMState.MIGRATING, VMState.RESIZING, VMState.DELETED, VMState.ERROR}
+    ),
+    VMState.MIGRATING: frozenset({VMState.ACTIVE, VMState.ERROR}),
+    VMState.RESIZING: frozenset({VMState.ACTIVE, VMState.ERROR}),
+    VMState.DELETED: frozenset(),
+    VMState.ERROR: frozenset({VMState.DELETED}),
+}
+
+
+@dataclass
+class VM:
+    """A virtual machine instance.
+
+    Attributes
+    ----------
+    vm_id:
+        Unique (anonymised) instance identifier.
+    flavor:
+        The resource template the VM was instantiated from.
+    tenant:
+        Project/tenant identifier (used by tenant isolation filters).
+    az:
+        Requested availability zone, or ``None`` for "any".
+    created_at / deleted_at:
+        Lifecycle timestamps in epoch seconds; ``deleted_at`` is ``None``
+        while the VM is alive.
+    node_id:
+        Compute node currently hosting the VM (``None`` until placed).
+    workload_profile:
+        Name of the demand profile driving the VM's telemetry.
+    """
+
+    vm_id: str
+    flavor: Flavor
+    tenant: str = "default"
+    az: str | None = None
+    created_at: float = 0.0
+    deleted_at: float | None = None
+    node_id: str | None = None
+    workload_profile: str = "general"
+    state: VMState = VMState.REQUESTED
+    migrations: int = 0
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def requested(self) -> Capacity:
+        """Resources this VM requests from its host."""
+        return self.flavor.requested()
+
+    def transition(self, new_state: VMState) -> None:
+        """Move to ``new_state``, enforcing the lifecycle state machine."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ValueError(
+                f"illegal VM state transition {self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (
+            VMState.BUILDING,
+            VMState.ACTIVE,
+            VMState.MIGRATING,
+            VMState.RESIZING,
+        )
+
+    def lifetime_seconds(self, now: float | None = None) -> float:
+        """Observed lifetime: deletion (or ``now``) minus creation."""
+        end = self.deleted_at if self.deleted_at is not None else now
+        if end is None:
+            raise ValueError("VM is alive; pass `now` to compute lifetime")
+        return max(0.0, end - self.created_at)

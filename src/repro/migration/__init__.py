@@ -1,0 +1,20 @@
+"""Live-migration cost modelling.
+
+§3.2 ("Avoiding migration of heavy VMs"): migrating VMs with high memory
+activity incurs overhead because updated pages must be re-copied.  This
+package implements the standard pre-copy live-migration model — iterative
+memory copying against a dirty-page rate — yielding total migration time,
+downtime, and transferred volume, plus a planner that weighs migration
+cost against rebalancing benefit.
+"""
+
+from repro.migration.precopy import MigrationEstimate, PrecopyModel
+from repro.migration.planner import MigrationPlan, MigrationPlanner, PlannedMove
+
+__all__ = [
+    "PrecopyModel",
+    "MigrationEstimate",
+    "MigrationPlanner",
+    "MigrationPlan",
+    "PlannedMove",
+]

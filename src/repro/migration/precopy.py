@@ -1,0 +1,112 @@
+"""Pre-copy live-migration model.
+
+Pre-copy migration transfers the VM's memory while it keeps running: the
+first round copies all pages, each later round re-copies the pages dirtied
+during the previous round, and when the remaining set is small enough (or
+the round cap is hit) the VM is paused and the remainder moves in the
+stop-and-copy phase — that pause is the downtime.
+
+With memory ``M`` (MiB), link bandwidth ``B`` (MiB/s), and dirty rate ``D``
+(MiB/s), round ``i`` transfers ``M * (D/B)^i``: the series converges only
+when ``D < B``, which is exactly why §3.2 prefers not to migrate
+memory-hot VMs — their dirty rate approaches the copy bandwidth and the
+downtime explodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.infrastructure.flavors import Flavor
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationEstimate:
+    """Outcome of one simulated pre-copy migration."""
+
+    rounds: int
+    total_seconds: float
+    downtime_seconds: float
+    transferred_mb: float
+    converged: bool  # False when the round cap forced stop-and-copy
+
+
+class PrecopyModel:
+    """Iterative pre-copy estimator."""
+
+    def __init__(
+        self,
+        bandwidth_mbps: float = 10_000.0,  # MiB/s over the migration network
+        downtime_target_mb: float = 512.0,
+        max_rounds: int = 30,
+    ) -> None:
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be positive")
+        if downtime_target_mb <= 0:
+            raise ValueError("downtime_target_mb must be positive")
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        self.bandwidth = bandwidth_mbps
+        self.downtime_target_mb = downtime_target_mb
+        self.max_rounds = max_rounds
+
+    def estimate(self, memory_mb: float, dirty_rate_mbps: float) -> MigrationEstimate:
+        """Simulate the pre-copy rounds for a VM.
+
+        ``memory_mb`` is the resident working set; ``dirty_rate_mbps`` the
+        rate at which the guest rewrites pages during the copy.
+        """
+        if memory_mb < 0 or dirty_rate_mbps < 0:
+            raise ValueError("memory and dirty rate must be non-negative")
+        remaining = memory_mb
+        transferred = 0.0
+        elapsed = 0.0
+        rounds = 0
+        converged = True
+        while remaining > self.downtime_target_mb:
+            if rounds >= self.max_rounds:
+                converged = False
+                break
+            round_seconds = remaining / self.bandwidth
+            transferred += remaining
+            elapsed += round_seconds
+            # Pages dirtied while this round was copying become next round.
+            remaining = min(memory_mb, dirty_rate_mbps * round_seconds)
+            rounds += 1
+            if dirty_rate_mbps >= self.bandwidth:
+                # Non-convergent: the dirty set no longer shrinks.
+                converged = False
+                break
+        downtime = remaining / self.bandwidth
+        transferred += remaining
+        elapsed += downtime
+        return MigrationEstimate(
+            rounds=rounds,
+            total_seconds=elapsed,
+            downtime_seconds=downtime,
+            transferred_mb=transferred,
+            converged=converged,
+        )
+
+    def estimate_for_vm(
+        self, flavor: Flavor, memory_ratio: float, write_intensity: float = 0.02
+    ) -> MigrationEstimate:
+        """Estimate from a flavor and its observed memory utilisation.
+
+        ``write_intensity`` is the fraction of the resident set rewritten
+        per second — in-memory databases sit at the high end, which is why
+        the paper avoids migrating them.
+        """
+        if not 0.0 <= memory_ratio <= 1.0:
+            raise ValueError("memory_ratio must be within [0, 1]")
+        if write_intensity < 0:
+            raise ValueError("write_intensity must be non-negative")
+        resident_mb = flavor.ram_mb * memory_ratio
+        return self.estimate(resident_mb, resident_mb * write_intensity)
+
+    def is_heavy(self, flavor: Flavor, memory_ratio: float,
+                 write_intensity: float = 0.02,
+                 downtime_budget_s: float = 1.0) -> bool:
+        """Whether migrating this VM would blow the downtime budget."""
+        estimate = self.estimate_for_vm(flavor, memory_ratio, write_intensity)
+        return not estimate.converged or estimate.downtime_seconds > downtime_budget_s

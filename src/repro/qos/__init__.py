@@ -1,0 +1,33 @@
+"""QoS classes, NUMA alignment, and CPU pinning.
+
+The paper's outlook (§8): "QoS requirements provide guarantees for certain
+performance standards such as latency, network bandwidth, disk I/O,
+non-uniform memory access (NUMA) alignment, and CPU-pinning.  The latter
+ensures reduced latency to performance-sensitive VMs by reserving dedicated
+CPU cores on hosts.  In our future work, we plan to evaluate OpenStack QoS
+classes for more fine-grained management of different types of VMs."
+
+This package implements that evaluation surface: QoS class definitions
+with overcommit eligibility, a socket-level NUMA topology model with
+alignment scoring, a dedicated-core pinning allocator, and the scheduler
+filters/weighers wiring them into placement.
+"""
+
+from repro.qos.classes import QOS_CLASSES, QosClass, qos_for_flavor
+from repro.qos.numa import NumaNode, NumaPlacement, NumaTopology
+from repro.qos.pinning import CpuPinningAllocator, PinningError
+from repro.qos.filters import NumaFitFilter, QosClassFilter, NumaAlignmentWeigher
+
+__all__ = [
+    "QosClass",
+    "QOS_CLASSES",
+    "qos_for_flavor",
+    "NumaNode",
+    "NumaTopology",
+    "NumaPlacement",
+    "CpuPinningAllocator",
+    "PinningError",
+    "QosClassFilter",
+    "NumaFitFilter",
+    "NumaAlignmentWeigher",
+]

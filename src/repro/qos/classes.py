@@ -1,0 +1,83 @@
+"""QoS class definitions.
+
+Modelled on the Kubernetes/OpenStack convention of three service tiers:
+
+- **guaranteed** — dedicated (pinned) CPU, no overcommit, NUMA-aligned;
+  for latency-sensitive in-memory databases;
+- **burstable** — shared CPU with a modest overcommit ceiling and a
+  contention bound; the default for production application servers;
+- **besteffort** — full overcommit, no contention bound; dev/CI churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.infrastructure.flavors import Flavor
+
+
+@dataclass(frozen=True, slots=True)
+class QosClass:
+    """One service tier and its scheduling constraints."""
+
+    name: str
+    #: Maximum vCPU:pCPU ratio tolerable for this tier (1.0 = dedicated).
+    max_cpu_overcommit: float
+    #: Upper bound on acceptable host CPU contention (%); placement must
+    #: avoid hosts whose recent contention exceeds it.
+    contention_ceiling_pct: float
+    #: Whether vCPUs must be pinned to dedicated physical cores.
+    requires_pinning: bool
+    #: Whether the VM's memory must fit within a minimal NUMA node set.
+    requires_numa_alignment: bool
+
+    def __post_init__(self) -> None:
+        if self.max_cpu_overcommit < 1.0:
+            raise ValueError("max_cpu_overcommit must be >= 1.0")
+        if self.contention_ceiling_pct < 0:
+            raise ValueError("contention_ceiling_pct must be non-negative")
+
+
+QOS_CLASSES: dict[str, QosClass] = {
+    "guaranteed": QosClass(
+        name="guaranteed",
+        max_cpu_overcommit=1.0,
+        contention_ceiling_pct=1.0,
+        requires_pinning=True,
+        requires_numa_alignment=True,
+    ),
+    "burstable": QosClass(
+        name="burstable",
+        max_cpu_overcommit=2.0,
+        contention_ceiling_pct=10.0,  # the paper's strict threshold
+        requires_pinning=False,
+        requires_numa_alignment=True,
+    ),
+    "besteffort": QosClass(
+        name="besteffort",
+        max_cpu_overcommit=8.0,
+        contention_ceiling_pct=30.0,  # the paper's moderate threshold
+        requires_pinning=False,
+        requires_numa_alignment=False,
+    ),
+}
+
+
+def qos_for_flavor(flavor: Flavor) -> QosClass:
+    """Default QoS tier for a flavor.
+
+    An explicit ``qos_class`` extra spec wins; otherwise HANA in-memory
+    databases are guaranteed, other large flavors burstable, and the rest
+    best-effort.
+    """
+    explicit = flavor.spec("qos_class")
+    if explicit is not None:
+        try:
+            return QOS_CLASSES[explicit]
+        except KeyError:
+            raise ValueError(f"unknown qos_class {explicit!r}") from None
+    if flavor.family == "hana":
+        return QOS_CLASSES["guaranteed"]
+    if flavor.vcpus > 16:
+        return QOS_CLASSES["burstable"]
+    return QOS_CLASSES["besteffort"]

@@ -1,0 +1,85 @@
+"""Scheduler integration for QoS classes and NUMA alignment.
+
+Wires the §8 QoS surface into the filter/weigher pipeline:
+:class:`QosClassFilter` rejects hosts whose overcommit or recent
+contention violates the request's tier; :class:`NumaFitFilter` and
+:class:`NumaAlignmentWeigher` honour socket topology.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.qos.classes import qos_for_flavor
+from repro.qos.numa import NumaTopology
+from repro.scheduler.filters import Filter
+from repro.scheduler.hoststate import HostState
+from repro.scheduler.request import RequestSpec
+from repro.scheduler.weighers import Weigher
+
+
+class QosClassFilter(Filter):
+    """Enforces the request's QoS tier against host properties.
+
+    ``contention_scores`` maps host_id to recent contention % (as from
+    :func:`repro.core.contention.contention_summary` per scope); hosts
+    without a score count as contention-free.
+    """
+
+    name = "QosClassFilter"
+
+    def __init__(self, contention_scores: Mapping[str, float] | None = None) -> None:
+        self.contention_scores = contention_scores or {}
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        qos = qos_for_flavor(spec.flavor)
+        if host.total_vcpus > 0:
+            # The host's configured overcommit is visible as the ratio of
+            # allocatable vCPUs to physical cores recorded in metadata, or
+            # conservatively inferred from totals when absent.
+            ratio = float(host.metadata.get("cpu_overcommit", "0") or 0)
+            if ratio and ratio > qos.max_cpu_overcommit:
+                return False
+        contention = float(self.contention_scores.get(host.host_id, 0.0))
+        return contention <= qos.contention_ceiling_pct
+
+
+class NumaFitFilter(Filter):
+    """Rejects hosts whose NUMA topology cannot hold the request.
+
+    ``topologies`` maps host_id to the host's (current) NUMA state.  Tiers
+    requiring alignment must fit their minimal node count; others just
+    need aggregate capacity.
+    """
+
+    name = "NumaFitFilter"
+
+    def __init__(self, topologies: Mapping[str, NumaTopology]) -> None:
+        self.topologies = topologies
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        topology = self.topologies.get(host.host_id)
+        if topology is None:
+            return True  # hosts without NUMA data are unconstrained
+        qos = qos_for_flavor(spec.flavor)
+        if qos.requires_numa_alignment:
+            return topology.can_fit_aligned(spec.flavor)
+        return topology.can_fit(spec.flavor)
+
+
+class NumaAlignmentWeigher(Weigher):
+    """Prefers hosts where the request lands on fewer NUMA nodes."""
+
+    name = "NumaAlignmentWeigher"
+
+    def __init__(
+        self, topologies: Mapping[str, NumaTopology], multiplier: float = 1.0
+    ) -> None:
+        super().__init__(multiplier)
+        self.topologies = topologies
+
+    def raw_weight(self, host: HostState, spec: RequestSpec) -> float:
+        topology = self.topologies.get(host.host_id)
+        if topology is None:
+            return 0.0
+        return topology.alignment_score(spec.flavor)

@@ -1,0 +1,158 @@
+"""Socket-level NUMA topology model and alignment scoring.
+
+A VM is NUMA-aligned when its vCPUs and memory fit within the smallest
+possible set of NUMA nodes; crossing sockets costs remote-memory latency,
+which matters for the in-memory databases the paper hosts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.infrastructure.flavors import Flavor
+
+
+@dataclass
+class NumaNode:
+    """One socket: cores and local memory, with current reservations."""
+
+    node_index: int
+    cores: int
+    memory_mb: float
+    reserved_cores: int = 0
+    reserved_memory_mb: float = 0.0
+
+    @property
+    def free_cores(self) -> int:
+        return self.cores - self.reserved_cores
+
+    @property
+    def free_memory_mb(self) -> float:
+        return self.memory_mb - self.reserved_memory_mb
+
+
+@dataclass(frozen=True)
+class NumaPlacement:
+    """A VM's assignment across NUMA nodes."""
+
+    vm_id: str
+    #: node_index -> (cores, memory_mb) slices.
+    slices: dict[int, tuple[int, float]]
+
+    @property
+    def node_count(self) -> int:
+        return len(self.slices)
+
+    @property
+    def aligned(self) -> bool:
+        """True when the VM occupies a single NUMA node."""
+        return self.node_count == 1
+
+
+@dataclass
+class NumaTopology:
+    """A host's NUMA layout with reservation bookkeeping."""
+
+    nodes: list[NumaNode] = field(default_factory=list)
+    placements: dict[str, NumaPlacement] = field(default_factory=dict)
+
+    @classmethod
+    def symmetric(cls, sockets: int, cores_total: int, memory_mb_total: float) -> "NumaTopology":
+        """An even split of a host's resources across ``sockets``."""
+        if sockets < 1:
+            raise ValueError("sockets must be >= 1")
+        if cores_total < sockets:
+            raise ValueError("need at least one core per socket")
+        per_cores = cores_total // sockets
+        per_mem = memory_mb_total / sockets
+        return cls(
+            nodes=[
+                NumaNode(node_index=i, cores=per_cores, memory_mb=per_mem)
+                for i in range(sockets)
+            ]
+        )
+
+    def min_nodes_required(self, flavor: Flavor) -> int:
+        """Fewest NUMA nodes that could ever host this flavor."""
+        if not self.nodes:
+            raise ValueError("topology has no NUMA nodes")
+        per_cores = self.nodes[0].cores
+        per_mem = self.nodes[0].memory_mb
+        by_cpu = math.ceil(flavor.vcpus / per_cores) if per_cores else len(self.nodes) + 1
+        by_mem = math.ceil(flavor.ram_mb / per_mem) if per_mem else len(self.nodes) + 1
+        return max(by_cpu, by_mem, 1)
+
+    def place(self, vm_id: str, flavor: Flavor) -> NumaPlacement:
+        """Reserve the tightest NUMA slice set for a VM.
+
+        Greedy: fill the emptiest nodes first, using as few nodes as
+        current free capacity allows.  Raises ``ValueError`` when the VM
+        cannot fit at all.
+        """
+        if vm_id in self.placements:
+            raise ValueError(f"{vm_id} already placed on this topology")
+        remaining_cores = flavor.vcpus
+        remaining_mem = flavor.ram_mb
+        slices: dict[int, tuple[int, float]] = {}
+        # Most-free-first keeps big VMs on as few sockets as possible.
+        for node in sorted(self.nodes, key=lambda n: (-n.free_cores, n.node_index)):
+            if remaining_cores <= 0 and remaining_mem <= 0:
+                break
+            take_cores = min(remaining_cores, node.free_cores)
+            take_mem = min(remaining_mem, node.free_memory_mb)
+            if take_cores <= 0 and take_mem <= 0:
+                continue
+            # A slice must make progress on the binding dimension.
+            slices[node.node_index] = (int(take_cores), float(take_mem))
+            remaining_cores -= take_cores
+            remaining_mem -= take_mem
+        if remaining_cores > 0 or remaining_mem > 1e-6:
+            raise ValueError(f"{vm_id} does not fit on this NUMA topology")
+        for index, (cores, mem) in slices.items():
+            node = self.nodes[index]
+            node.reserved_cores += cores
+            node.reserved_memory_mb += mem
+        placement = NumaPlacement(vm_id=vm_id, slices=slices)
+        self.placements[vm_id] = placement
+        return placement
+
+    def release(self, vm_id: str) -> None:
+        """Free a VM's NUMA reservations (KeyError if absent)."""
+        placement = self.placements.pop(vm_id, None)
+        if placement is None:
+            raise KeyError(f"{vm_id} has no NUMA placement")
+        for index, (cores, mem) in placement.slices.items():
+            node = self.nodes[index]
+            node.reserved_cores -= cores
+            node.reserved_memory_mb -= mem
+
+    def can_fit(self, flavor: Flavor) -> bool:
+        """Whether the flavor fits the current free capacity at all."""
+        free_cores = sum(n.free_cores for n in self.nodes)
+        free_mem = sum(n.free_memory_mb for n in self.nodes)
+        return flavor.vcpus <= free_cores and flavor.ram_mb <= free_mem + 1e-6
+
+    def can_fit_aligned(self, flavor: Flavor) -> bool:
+        """Whether the flavor fits the *minimal* node count right now."""
+        needed = self.min_nodes_required(flavor)
+        if needed == 1:
+            return any(
+                n.free_cores >= flavor.vcpus and n.free_memory_mb >= flavor.ram_mb - 1e-6
+                for n in self.nodes
+            )
+        # Multi-node flavors: the `needed` emptiest nodes must suffice.
+        best = sorted(self.nodes, key=lambda n: -n.free_cores)[:needed]
+        return (
+            sum(n.free_cores for n in best) >= flavor.vcpus
+            and sum(n.free_memory_mb for n in best) >= flavor.ram_mb - 1e-6
+        )
+
+    def alignment_score(self, flavor: Flavor) -> float:
+        """1.0 when the flavor would land on its minimal node count, less
+        when fragmentation forces extra sockets, 0.0 when it cannot fit."""
+        if not self.can_fit(flavor):
+            return 0.0
+        if self.can_fit_aligned(flavor):
+            return 1.0
+        return float(self.min_nodes_required(flavor)) / len(self.nodes)

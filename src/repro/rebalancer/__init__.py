@@ -1,0 +1,14 @@
+"""Continuous rebalancing across building blocks.
+
+§7: "Fragmentation across logically grouped resources, such as BBs,
+results in measurable imbalances ... Continuous migration mechanisms
+across BBs are required to maintain balanced resource distribution."  The
+:class:`~repro.rebalancer.driver.RebalanceDriver` closes that loop: each
+pass runs DRS inside every spread building block, then plans and applies
+cost-bounded cross-BB migrations per data center, keeping the placement
+service's allocations consistent throughout.
+"""
+
+from repro.rebalancer.driver import RebalanceDriver, RebalanceReport
+
+__all__ = ["RebalanceDriver", "RebalanceReport"]

@@ -1,0 +1,146 @@
+"""The two-layer rebalancing loop: DRS inside BBs, planner across them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.drs.balancer import DrsBalancer, LoadFn, _allocated_load
+from repro.infrastructure.hierarchy import Region
+from repro.migration.planner import MigrationPlanner
+from repro.scheduler.placement import AllocationError, PlacementService
+
+
+@dataclass
+class RebalanceReport:
+    """Outcome of one or more rebalancing passes."""
+
+    passes: int = 0
+    intra_bb_migrations: int = 0
+    cross_bb_migrations: int = 0
+    skipped_moves: int = 0
+    imbalance_before: float = 0.0
+    imbalance_after: float = 0.0
+    total_transfer_mb: float = 0.0
+    history: list[str] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        return self.imbalance_before - self.imbalance_after
+
+
+class RebalanceDriver:
+    """Applies intra-BB DRS and cross-BB planned migrations to a region."""
+
+    def __init__(
+        self,
+        region: Region,
+        placement: PlacementService | None = None,
+        drs: DrsBalancer | None = None,
+        planner: MigrationPlanner | None = None,
+    ) -> None:
+        self.region = region
+        self.placement = placement
+        self.drs = drs or DrsBalancer()
+        self.planner = planner or MigrationPlanner()
+        self._node_bb = {
+            node.node_id: bb.bb_id
+            for bb in region.iter_building_blocks()
+            for node in bb.iter_nodes()
+        }
+
+    def dc_imbalance(self, datacenter: str, load_fn: LoadFn = _allocated_load) -> float:
+        """Std-dev of load fractions over the DC's general-purpose nodes."""
+        fractions = []
+        for bb in self.region.iter_building_blocks():
+            if bb.datacenter != datacenter or bb.aggregate_class:
+                continue
+            for node in bb.iter_nodes():
+                load = sum(load_fn(vm) for vm in node.vms.values())
+                if node.physical.vcpus > 0:
+                    fractions.append(load / node.physical.vcpus)
+        if len(fractions) < 2:
+            return 0.0
+        return float(np.std(fractions))
+
+    def run_pass(
+        self, datacenter: str, load_fn: LoadFn = _allocated_load
+    ) -> RebalanceReport:
+        """One full rebalancing pass over one data center."""
+        report = RebalanceReport(passes=1)
+        report.imbalance_before = self.dc_imbalance(datacenter, load_fn)
+
+        # Layer 1: DRS inside every spread building block.
+        for bb in self.region.iter_building_blocks():
+            if bb.datacenter != datacenter or bb.policy == "pack":
+                continue
+            migrations = self.drs.run(bb, load_fn=load_fn)
+            report.intra_bb_migrations += len(migrations)
+            for m in migrations:
+                report.history.append(
+                    f"drs {m.vm_id}: {m.source_node} -> {m.target_node}"
+                )
+
+        # Layer 2: cost-aware moves across the DC's general BBs.
+        plan = self.planner.plan_cross_bb(
+            self.region,
+            datacenter,
+            load_view=lambda vm: (load_fn(vm), 0.6),
+        )
+        for move in plan.moves:
+            if self._apply_move(move.vm_id, move.source_node, move.target_node):
+                report.cross_bb_migrations += 1
+                report.total_transfer_mb += move.estimate.transferred_mb
+                report.history.append(
+                    f"xbb {move.vm_id}: {move.source_node} -> {move.target_node}"
+                )
+            else:
+                report.skipped_moves += 1
+
+        report.imbalance_after = self.dc_imbalance(datacenter, load_fn)
+        return report
+
+    def run_until_stable(
+        self,
+        datacenter: str,
+        load_fn: LoadFn = _allocated_load,
+        max_passes: int = 5,
+        min_improvement: float = 1e-3,
+    ) -> RebalanceReport:
+        """Repeat passes until the imbalance stops improving."""
+        total = RebalanceReport()
+        total.imbalance_before = self.dc_imbalance(datacenter, load_fn)
+        for _ in range(max_passes):
+            report = self.run_pass(datacenter, load_fn)
+            total.passes += 1
+            total.intra_bb_migrations += report.intra_bb_migrations
+            total.cross_bb_migrations += report.cross_bb_migrations
+            total.skipped_moves += report.skipped_moves
+            total.total_transfer_mb += report.total_transfer_mb
+            total.history.extend(report.history)
+            if report.improvement < min_improvement:
+                break
+        total.imbalance_after = self.dc_imbalance(datacenter, load_fn)
+        return total
+
+    def _apply_move(self, vm_id: str, source_id: str, target_id: str) -> bool:
+        """Execute one planned move against region (and placement) state."""
+        try:
+            source = self.region.find_node(source_id)
+            target = self.region.find_node(target_id)
+        except KeyError:
+            return False
+        if vm_id not in source.vms:
+            return False
+        source_bb = self._node_bb[source_id]
+        target_bb = self._node_bb[target_id]
+        if self.placement is not None and source_bb != target_bb:
+            try:
+                self.placement.move(vm_id, target_bb)
+            except AllocationError:
+                return False
+        vm = source.remove_vm(vm_id)
+        target.add_vm(vm)
+        vm.migrations += 1
+        return True

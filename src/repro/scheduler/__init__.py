@@ -1,0 +1,80 @@
+"""OpenStack Nova scheduler simulator.
+
+Reproduces the scheduling architecture of §2.2 and Figures 2–3: a
+filter/weigher pipeline performing *initial placement* of VMs onto compute
+hosts (in the SAP deployment a compute host is a whole vSphere cluster /
+building block), backed by a placement service that maintains resource
+provider inventories and consumer allocations, with greedy
+selection-plus-retries and alternates.
+"""
+
+from repro.scheduler.request import RequestSpec
+from repro.scheduler.placement import (
+    Allocation,
+    AllocationError,
+    PlacementService,
+    ResourceProvider,
+)
+from repro.scheduler.filters import (
+    AggregateInstanceExtraSpecsFilter,
+    AllHostsFilter,
+    AvailabilityZoneFilter,
+    ComputeFilter,
+    DiskFilter,
+    Filter,
+    MaintenanceFilter,
+    NumInstancesFilter,
+    RamFilter,
+    TenantIsolationFilter,
+    VCpuFilter,
+)
+from repro.scheduler.weighers import (
+    CPUWeigher,
+    DiskWeigher,
+    FitnessWeigher,
+    IoOpsWeigher,
+    NumInstancesWeigher,
+    RAMWeigher,
+    Weigher,
+    WeigherPipeline,
+)
+from repro.scheduler.pipeline import (
+    FilterScheduler,
+    HostState,
+    NoValidHost,
+    SchedulingResult,
+)
+from repro.scheduler.policies import pack_policy_weighers, spread_policy_weighers
+
+__all__ = [
+    "RequestSpec",
+    "PlacementService",
+    "ResourceProvider",
+    "Allocation",
+    "AllocationError",
+    "Filter",
+    "AllHostsFilter",
+    "ComputeFilter",
+    "RamFilter",
+    "VCpuFilter",
+    "DiskFilter",
+    "AvailabilityZoneFilter",
+    "AggregateInstanceExtraSpecsFilter",
+    "TenantIsolationFilter",
+    "MaintenanceFilter",
+    "NumInstancesFilter",
+    "Weigher",
+    "WeigherPipeline",
+    "CPUWeigher",
+    "RAMWeigher",
+    "DiskWeigher",
+    "NumInstancesWeigher",
+    "IoOpsWeigher",
+    "FitnessWeigher",
+    "FilterScheduler",
+    "HostState",
+    "SchedulingResult",
+    "NoValidHost",
+    "pack_policy_weighers",
+    "spread_policy_weighers",
+]

@@ -1,0 +1,175 @@
+"""Nova-style scheduler filters.
+
+Each filter eliminates candidate hosts that cannot satisfy the request
+(§2.2, Fig 3).  Filters are stateless callables: ``passes(host, spec)``.
+The filter set mirrors the upstream Nova filters the paper names plus the
+SAP-specific aggregate handling for special-purpose building blocks (§3.1).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.scheduler.hoststate import HostState
+from repro.scheduler.request import RequestSpec
+
+
+class Filter(abc.ABC):
+    """Base class: one pass/fail decision per (host, request)."""
+
+    name = "Filter"
+
+    @abc.abstractmethod
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        """True when ``host`` remains a valid candidate for ``spec``."""
+
+    def filter_all(
+        self, hosts: list[HostState], spec: RequestSpec
+    ) -> list[HostState]:
+        """Hosts surviving this filter."""
+        return [h for h in hosts if self.passes(h, spec)]
+
+    def __repr__(self) -> str:
+        return f"<{self.name}>"
+
+
+class AllHostsFilter(Filter):
+    """No-op filter (Nova's default fallback)."""
+
+    name = "AllHostsFilter"
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        return True
+
+
+class ComputeFilter(Filter):
+    """Rejects disabled hosts and hosts without compute capacity.
+
+    Per the paper: "the ComputeFilter removes all hypervisors with
+    insufficient compute resources (CPU, memory) for the VM."
+    """
+
+    name = "ComputeFilter"
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        if not host.enabled:
+            return False
+        requested = spec.requested()
+        return (
+            host.free_vcpus >= requested.vcpus
+            and host.free_ram_mb >= requested.memory_mb
+        )
+
+
+class VCpuFilter(Filter):
+    """Free-vCPU check only (Nova CoreFilter)."""
+
+    name = "VCpuFilter"
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        return host.free_vcpus >= spec.flavor.vcpus
+
+
+class RamFilter(Filter):
+    """Free-memory check only."""
+
+    name = "RamFilter"
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        return host.free_ram_mb >= spec.flavor.ram_mb
+
+
+class DiskFilter(Filter):
+    """Free-local-storage check."""
+
+    name = "DiskFilter"
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        return host.free_disk_gb >= spec.flavor.disk_gb
+
+
+class AvailabilityZoneFilter(Filter):
+    """Honours the requested AZ; requests without an AZ match any host."""
+
+    name = "AvailabilityZoneFilter"
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        if spec.availability_zone is None:
+            return True
+        return host.az == spec.availability_zone
+
+
+class AggregateInstanceExtraSpecsFilter(Filter):
+    """Matches flavor extra specs against host aggregate membership.
+
+    Two-way exclusivity, per §3.1: flavors that demand an aggregate class
+    (GPU, ≥3 TB HANA) only land on matching special-purpose building blocks,
+    and those building blocks accept no other VMs.
+    """
+
+    name = "AggregateInstanceExtraSpecsFilter"
+
+    #: Aggregate classes that are exclusive to matching flavors.
+    EXCLUSIVE_CLASSES = frozenset({"hana", "hana_xl", "gpu"})
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        wanted = spec.flavor.spec("aggregate_class")
+        if wanted is not None:
+            return host.aggregate_class == wanted
+        return host.aggregate_class not in self.EXCLUSIVE_CLASSES
+
+
+class TenantIsolationFilter(Filter):
+    """Hosts with a tenant allowlist only accept those tenants."""
+
+    name = "TenantIsolationFilter"
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        if not host.allowed_tenants:
+            return True
+        return spec.tenant in host.allowed_tenants
+
+
+class MaintenanceFilter(Filter):
+    """Rejects hosts that are fully in maintenance."""
+
+    name = "MaintenanceFilter"
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        return host.enabled
+
+
+class NumInstancesFilter(Filter):
+    """Caps the number of instances per host."""
+
+    name = "NumInstancesFilter"
+
+    def __init__(self, max_instances: int = 10_000) -> None:
+        if max_instances < 1:
+            raise ValueError("max_instances must be positive")
+        self.max_instances = max_instances
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        return host.num_instances < self.max_instances
+
+
+class RetryFilter(Filter):
+    """Excludes hosts that already failed this request (Nova retries)."""
+
+    name = "RetryFilter"
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        return host.host_id not in spec.excluded_hosts
+
+
+def default_filters() -> list[Filter]:
+    """The filter chain used by the SAP-like deployment."""
+    return [
+        RetryFilter(),
+        MaintenanceFilter(),
+        AvailabilityZoneFilter(),
+        AggregateInstanceExtraSpecsFilter(),
+        TenantIsolationFilter(),
+        ComputeFilter(),
+        DiskFilter(),
+    ]

@@ -1,0 +1,126 @@
+"""The FilterScheduler: Nova's filter/weigher pipeline with retries.
+
+Implements the scheduling flow of Fig 3: collect all hosts, apply the filter
+chain, rank survivors through the weigher pipeline, then claim the best
+candidate against placement.  Nova's greedy-with-retries behaviour is
+reproduced: if the claim races and fails, the next-ranked alternate is
+tried, up to ``max_attempts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.infrastructure.hierarchy import Region
+from repro.scheduler.filters import Filter, default_filters
+from repro.scheduler.hoststate import HostState
+from repro.scheduler.placement import AllocationError, PlacementService
+from repro.scheduler.policies import weighers_for_flavor
+from repro.scheduler.request import RequestSpec
+from repro.scheduler.weighers import Weigher, WeigherPipeline
+
+
+class NoValidHost(Exception):
+    """No host survived filtering, or all claim attempts failed."""
+
+
+@dataclass
+class SchedulingResult:
+    """Outcome of one placement request."""
+
+    vm_id: str
+    host_id: str
+    score: float
+    attempts: int
+    #: Hosts ranked below the winner (Nova's alternates for retries).
+    alternates: list[str] = field(default_factory=list)
+    filtered_counts: dict[str, int] = field(default_factory=dict)
+
+
+class FilterScheduler:
+    """Initial placement of VMs onto compute hosts (building blocks)."""
+
+    def __init__(
+        self,
+        region: Region,
+        placement: PlacementService,
+        filters: list[Filter] | None = None,
+        weighers: list[Weigher] | None = None,
+        max_attempts: int = 3,
+        alternates: int = 3,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.region = region
+        self.placement = placement
+        self.filters = filters if filters is not None else default_filters()
+        self._fixed_weighers = weighers
+        self.max_attempts = max_attempts
+        self.alternates = alternates
+        self.stats = {"requests": 0, "placed": 0, "failed": 0, "retries": 0}
+
+    # -- host collection -----------------------------------------------------
+
+    def host_states(self) -> list[HostState]:
+        """Candidate states for every building block in the region."""
+        return [
+            HostState.from_building_block(bb, self.placement)
+            for bb in self.region.iter_building_blocks()
+        ]
+
+    # -- scheduling -------------------------------------------------------------
+
+    def select_destinations(
+        self, spec: RequestSpec
+    ) -> tuple[list[tuple[HostState, float]], dict[str, int]]:
+        """Filter + weigh; returns ranked candidates and per-filter counts."""
+        hosts = self.host_states()
+        counts: dict[str, int] = {"initial": len(hosts)}
+        for flt in self.filters:
+            hosts = flt.filter_all(hosts, spec)
+            counts[flt.name] = len(hosts)
+        if not hosts:
+            return [], counts
+        weighers = self._fixed_weighers or weighers_for_flavor(spec.flavor)
+        ranked = WeigherPipeline(weighers).rank(hosts, spec)
+        return ranked, counts
+
+    def schedule(self, spec: RequestSpec) -> SchedulingResult:
+        """Place one request, claiming resources via placement.
+
+        Raises :class:`NoValidHost` when no candidate passes filtering or
+        every claim attempt fails.
+        """
+        self.stats["requests"] += 1
+        attempts = 0
+        current = spec
+        last_counts: dict[str, int] = {}
+        while attempts < self.max_attempts:
+            ranked, counts = self.select_destinations(current)
+            last_counts = counts
+            if not ranked:
+                break
+            attempts += 1
+            best, score = ranked[0]
+            try:
+                self.placement.claim(current.vm_id, best.host_id, current.requested())
+            except AllocationError:
+                # The greedy pick raced with another claim; exclude and retry.
+                self.stats["retries"] += 1
+                current = current.excluding(best.host_id)
+                continue
+            self.stats["placed"] += 1
+            return SchedulingResult(
+                vm_id=spec.vm_id,
+                host_id=best.host_id,
+                score=score,
+                attempts=attempts,
+                alternates=[h.host_id for h, _ in ranked[1 : 1 + self.alternates]],
+                filtered_counts=counts,
+            )
+        self.stats["failed"] += 1
+        raise NoValidHost(
+            f"no valid host for {spec.vm_id} "
+            f"(flavor={spec.flavor.name}, attempts={attempts}, "
+            f"filter_counts={last_counts})"
+        )

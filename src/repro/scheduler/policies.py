@@ -1,0 +1,44 @@
+"""Placement policies: the pack-vs-spread split of §3.2.
+
+"The default strategy aims to load-balance general-purpose workloads,
+whereas SAP S/4HANA workloads are explicitly bin-packed to maximize memory
+utilization."  Spread uses positive free-resource multipliers; pack flips
+the memory weigher negative so fuller hosts win.
+"""
+
+from __future__ import annotations
+
+from repro.infrastructure.flavors import Flavor
+from repro.scheduler.weighers import (
+    CPUWeigher,
+    DiskWeigher,
+    NumInstancesWeigher,
+    RAMWeigher,
+    Weigher,
+)
+
+
+def spread_policy_weighers() -> list[Weigher]:
+    """Load-balancing weighers for general-purpose workloads."""
+    return [
+        CPUWeigher(multiplier=1.0),
+        RAMWeigher(multiplier=1.0),
+        DiskWeigher(multiplier=0.2),
+        NumInstancesWeigher(multiplier=0.3),
+    ]
+
+
+def pack_policy_weighers() -> list[Weigher]:
+    """Memory bin-packing weighers for S/4HANA workloads."""
+    return [
+        RAMWeigher(multiplier=-2.0),
+        CPUWeigher(multiplier=-0.5),
+        NumInstancesWeigher(multiplier=-0.1),
+    ]
+
+
+def weighers_for_flavor(flavor: Flavor) -> list[Weigher]:
+    """Pick the policy weigher set by workload family."""
+    if flavor.family == "hana":
+        return pack_policy_weighers()
+    return spread_policy_weighers()

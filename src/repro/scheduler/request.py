@@ -1,0 +1,44 @@
+"""Request specification handed from the Nova API/conductor to the scheduler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.infrastructure.capacity import Capacity
+from repro.infrastructure.flavors import Flavor
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """Everything the scheduler may consider for one placement request.
+
+    Mirrors Nova's RequestSpec: flavor, tenant, requested AZ, scheduler
+    hints, and whether this request is a new boot, a resize, or a migration
+    of an existing instance.
+    """
+
+    vm_id: str
+    flavor: Flavor
+    tenant: str = "default"
+    availability_zone: str | None = None
+    operation: str = "create"  # "create" | "resize" | "migrate"
+    #: Building blocks to avoid (e.g. the migration source, or previous
+    #: failed attempts — Nova's retry mechanism excludes them).
+    excluded_hosts: frozenset[str] = frozenset()
+    scheduler_hints: dict[str, str] = field(default_factory=dict)
+
+    def requested(self) -> Capacity:
+        """Resources this request needs from the chosen host."""
+        return self.flavor.requested()
+
+    def excluding(self, host: str) -> "RequestSpec":
+        """A copy that additionally excludes ``host`` (retry bookkeeping)."""
+        return RequestSpec(
+            vm_id=self.vm_id,
+            flavor=self.flavor,
+            tenant=self.tenant,
+            availability_zone=self.availability_zone,
+            operation=self.operation,
+            excluded_hosts=self.excluded_hosts | {host},
+            scheduler_hints=dict(self.scheduler_hints),
+        )

@@ -1,0 +1,118 @@
+"""Nova server groups: scheduler-level affinity and anti-affinity.
+
+Nova lets users create *server groups* with an affinity or anti-affinity
+policy; the ServerGroup(Anti)AffinityFilter then keeps group members
+together on (or apart from) the hosts of earlier members.  In the SAP
+deployment this is the mechanism for HA pairs of database replicas —
+anti-affinity across compute hosts complements the intra-cluster DRS rules
+(:mod:`repro.drs.affinity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scheduler.filters import Filter
+from repro.scheduler.hoststate import HostState
+from repro.scheduler.request import RequestSpec
+
+POLICIES = ("affinity", "anti-affinity", "soft-affinity", "soft-anti-affinity")
+
+
+@dataclass
+class ServerGroup:
+    """One named group of VMs sharing a placement policy."""
+
+    group_id: str
+    policy: str
+    members: set[str] = field(default_factory=set)
+    #: host_id -> member count, maintained as members are placed.
+    hosts: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}; known: {POLICIES}")
+
+
+class ServerGroupRegistry:
+    """Groups by id, plus the member → group index the filters consult."""
+
+    def __init__(self) -> None:
+        self._groups: dict[str, ServerGroup] = {}
+        self._member_group: dict[str, str] = {}
+
+    def create(self, group_id: str, policy: str) -> ServerGroup:
+        """Create a new group with the given placement policy."""
+        if group_id in self._groups:
+            raise ValueError(f"group {group_id} already exists")
+        group = ServerGroup(group_id=group_id, policy=policy)
+        self._groups[group_id] = group
+        return group
+
+    def get(self, group_id: str) -> ServerGroup:
+        """Look up a group (KeyError if unknown)."""
+        try:
+            return self._groups[group_id]
+        except KeyError:
+            raise KeyError(f"unknown server group: {group_id}") from None
+
+    def add_member(self, group_id: str, vm_id: str) -> None:
+        """Register a VM in a group; a VM belongs to at most one."""
+        group = self.get(group_id)
+        if vm_id in self._member_group:
+            raise ValueError(f"{vm_id} already belongs to a group")
+        group.members.add(vm_id)
+        self._member_group[vm_id] = group_id
+
+    def group_of(self, vm_id: str) -> ServerGroup | None:
+        """The VM's group, or None for non-members."""
+        group_id = self._member_group.get(vm_id)
+        return self._groups[group_id] if group_id else None
+
+    def record_placement(self, vm_id: str, host_id: str) -> None:
+        """Register where a group member landed (call after scheduling)."""
+        group = self.group_of(vm_id)
+        if group is None:
+            return
+        group.hosts[host_id] = group.hosts.get(host_id, 0) + 1
+
+    def record_removal(self, vm_id: str, host_id: str) -> None:
+        """Unregister a member's placement (VM deleted or moved)."""
+        group = self.group_of(vm_id)
+        if group is None:
+            return
+        count = group.hosts.get(host_id, 0) - 1
+        if count > 0:
+            group.hosts[host_id] = count
+        else:
+            group.hosts.pop(host_id, None)
+
+
+class ServerGroupAffinityFilter(Filter):
+    """Hard affinity: members must share the host of earlier members."""
+
+    name = "ServerGroupAffinityFilter"
+
+    def __init__(self, registry: ServerGroupRegistry) -> None:
+        self.registry = registry
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        group = self.registry.group_of(spec.vm_id)
+        if group is None or group.policy != "affinity" or not group.hosts:
+            return True
+        return host.host_id in group.hosts
+
+
+class ServerGroupAntiAffinityFilter(Filter):
+    """Hard anti-affinity: members must land on distinct hosts."""
+
+    name = "ServerGroupAntiAffinityFilter"
+
+    def __init__(self, registry: ServerGroupRegistry) -> None:
+        self.registry = registry
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        group = self.registry.group_of(spec.vm_id)
+        if group is None or group.policy != "anti-affinity":
+            return True
+        return host.host_id not in group.hosts

@@ -1,0 +1,36 @@
+"""Discrete-event simulation of the regional cloud.
+
+The engine replays 30 days of VM lifecycle events (create / resize / migrate
+/ delete) against the infrastructure model, computes node-level resource
+usage including the VMware-style CPU ready-time and contention metrics, and
+scrapes telemetry through the exporters into a metric store — reproducing
+the measurement pipeline of §4 end to end.
+"""
+
+from repro.simulation.engine import Event, SimulationEngine
+from repro.simulation.events import (
+    DRS_RUN,
+    SCRAPE,
+    VM_CREATE,
+    VM_DELETE,
+    VM_MIGRATE,
+    VM_RESIZE,
+)
+from repro.simulation.hostsched import HostCpuModel, NodeWindowUsage
+from repro.simulation.runner import RegionSimulation, SimulationConfig, SimulationResult
+
+__all__ = [
+    "Event",
+    "SimulationEngine",
+    "VM_CREATE",
+    "VM_DELETE",
+    "VM_RESIZE",
+    "VM_MIGRATE",
+    "SCRAPE",
+    "DRS_RUN",
+    "HostCpuModel",
+    "NodeWindowUsage",
+    "RegionSimulation",
+    "SimulationConfig",
+    "SimulationResult",
+]

@@ -1,0 +1,90 @@
+"""Minimal deterministic discrete-event engine.
+
+Events are ordered by (time, sequence number), so same-time events run in
+scheduling order and replays are exactly reproducible.  Handlers are
+registered per event kind; a handler may schedule further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled simulation event."""
+
+    time: float
+    seq: int = field(compare=True)
+    kind: str = field(compare=False)
+    payload: dict[str, Any] = field(compare=False, default_factory=dict)
+
+
+Handler = Callable[["SimulationEngine", Event], None]
+
+
+class SimulationEngine:
+    """Priority-queue event loop with per-kind handlers."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._handlers: dict[str, Handler] = {}
+        self.now = start_time
+        self.processed = 0
+
+    def on(self, kind: str, handler: Handler) -> None:
+        """Register the handler for an event kind (one handler per kind)."""
+        if kind in self._handlers:
+            raise ValueError(f"handler already registered for {kind!r}")
+        self._handlers[kind] = handler
+
+    def schedule(self, time: float, kind: str, **payload: Any) -> Event:
+        """Enqueue an event; past-dated events are an error."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule {kind!r} at {time} before current time {self.now}"
+            )
+        event = Event(time=time, seq=next(self._seq), kind=kind, payload=payload)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next pending event, or None when idle."""
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> Event | None:
+        """Process one event; returns it, or None when the queue is empty."""
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self.now = event.time
+        handler = self._handlers.get(event.kind)
+        if handler is None:
+            raise KeyError(f"no handler registered for event kind {event.kind!r}")
+        handler(self, event)
+        self.processed += 1
+        return event
+
+    def run_until(self, end_time: float) -> int:
+        """Process events with ``time <= end_time``; returns the count."""
+        n = 0
+        while self._queue and self._queue[0].time <= end_time:
+            self.step()
+            n += 1
+        self.now = max(self.now, end_time)
+        return n
+
+    def run(self) -> int:
+        """Drain the queue completely; returns the processed count."""
+        n = 0
+        while self.step() is not None:
+            n += 1
+        return n
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

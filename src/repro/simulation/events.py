@@ -1,0 +1,26 @@
+"""Event kinds used by the regional simulation.
+
+The dataset's scheduling-relevant events (§4) are VM creation, migration,
+resize, and deletion; SCRAPE models the periodic exporter scrape and DRS_RUN
+the periodic VMware DRS balancing pass.
+"""
+
+VM_CREATE = "vm.create"
+VM_DELETE = "vm.delete"
+VM_RESIZE = "vm.resize"
+VM_MIGRATE = "vm.migrate"
+SCRAPE = "telemetry.scrape"
+DRS_RUN = "drs.run"
+MAINT_START = "maintenance.start"
+MAINT_END = "maintenance.end"
+
+ALL_KINDS = (
+    VM_CREATE,
+    VM_DELETE,
+    VM_RESIZE,
+    VM_MIGRATE,
+    SCRAPE,
+    DRS_RUN,
+    MAINT_START,
+    MAINT_END,
+)

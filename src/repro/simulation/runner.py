@@ -1,0 +1,411 @@
+"""The regional discrete-event simulation.
+
+Drives the full two-layer architecture: VM requests flow through the Nova
+:class:`~repro.scheduler.pipeline.FilterScheduler` (BB-level placement with
+placement-API claims), land on a node chosen by the BB's policy, are
+periodically rebalanced by :class:`~repro.drs.balancer.DrsBalancer`, and are
+scraped through the exporters into a metric store — the §4 measurement
+pipeline running against live simulated state.
+
+This is the substrate for the scheduler ablation benchmarks; the bulk
+telemetry of the figure benchmarks comes from the faster vectorised
+:mod:`repro.datagen` path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.drs.balancer import DrsBalancer, DrsConfig
+from repro.infrastructure.flavors import FlavorCatalog, default_catalog
+from repro.infrastructure.hierarchy import BuildingBlock, ComputeNode, Region
+from repro.infrastructure.topology import TopologySpec, build_region
+from repro.infrastructure.vm import VM, VMState
+from repro.scheduler.pipeline import FilterScheduler, NoValidHost
+from repro.scheduler.placement import PlacementService
+from repro.scheduler.request import RequestSpec
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import (
+    DRS_RUN,
+    MAINT_END,
+    MAINT_START,
+    SCRAPE,
+    VM_CREATE,
+    VM_DELETE,
+    VM_RESIZE,
+)
+from repro.simulation.hostsched import HostCpuModel
+from repro.telemetry.exporters import NodeUsage, NovaExporter, VropsExporter
+from repro.telemetry.store import MetricStore
+from repro.workloads.demand import DemandModel, VMDemand
+from repro.workloads.lifetime import sample_lifetime
+from repro.workloads.profiles import profile_for_flavor
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Run parameters for one regional simulation."""
+
+    duration_days: float = 3.0
+    scrape_interval_s: float = 900.0
+    drs_interval_s: float = 3600.0
+    #: VM arrivals per hour (Poisson).
+    arrival_rate_per_hour: float = 20.0
+    #: Resize events per hour (Poisson); a random live VM changes flavor.
+    resize_rate_per_hour: float = 0.0
+    #: Maintenance windows per day (Poisson); a random node drains for
+    #: ``maintenance_duration_s`` (VMs stay, new placements avoid it).
+    maintenance_rate_per_day: float = 0.0
+    maintenance_duration_s: float = 4 * 3600.0
+    #: Initial VMs to place before the clock starts.
+    initial_vms: int = 200
+    seed: int = 7
+    start_time: float = 0.0
+    #: Placement strategy: "nova" (BB-level filter/weigher pipeline) or
+    #: "holistic" (node-level single-layer scheduler, §7).
+    scheduler_factory: str = "nova"
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark needs from one run."""
+
+    region: Region
+    store: MetricStore
+    placement: PlacementService
+    scheduler_stats: dict[str, int]
+    drs_migrations: int
+    created: int
+    deleted: int
+    rejected: int
+    events_processed: int
+    vms: dict[str, VM] = field(default_factory=dict)
+    resized: int = 0
+    resize_failed: int = 0
+    maintenance_windows: int = 0
+
+
+class RegionSimulation:
+    """Wires engine + scheduler + DRS + telemetry for one region."""
+
+    def __init__(
+        self,
+        spec: TopologySpec,
+        config: SimulationConfig | None = None,
+        scheduler: FilterScheduler | None = None,
+        catalog: FlavorCatalog | None = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.region = build_region(spec)
+        self.placement = PlacementService()
+        for bb in self.region.iter_building_blocks():
+            self.placement.register_building_block(bb)
+        if scheduler is not None:
+            self.scheduler = scheduler
+        elif self.config.scheduler_factory == "holistic":
+            from repro.core.advanced_placement import HolisticNodeScheduler
+
+            self.scheduler = HolisticNodeScheduler(self.region, self.placement)
+        elif self.config.scheduler_factory == "nova":
+            self.scheduler = FilterScheduler(self.region, self.placement)
+        else:
+            raise ValueError(
+                f"unknown scheduler_factory {self.config.scheduler_factory!r}"
+            )
+        self.catalog = catalog or default_catalog()
+        self.store = MetricStore()
+        self.vrops = VropsExporter()
+        self.nova_exporter = NovaExporter()
+        self.drs = DrsBalancer(config=DrsConfig())
+        self.demand_model = DemandModel(self.rng)
+        self.engine = SimulationEngine(start_time=self.config.start_time)
+        self.engine.on(VM_CREATE, self._handle_create)
+        self.engine.on(VM_DELETE, self._handle_delete)
+        self.engine.on(VM_RESIZE, self._handle_resize)
+        self.engine.on(SCRAPE, self._handle_scrape)
+        self.engine.on(DRS_RUN, self._handle_drs)
+        self.engine.on(MAINT_START, self._handle_maintenance_start)
+        self.engine.on(MAINT_END, self._handle_maintenance_end)
+
+        self.vms: dict[str, VM] = {}
+        self.demands: dict[str, VMDemand] = {}
+        self._vm_counter = 0
+        self.created = 0
+        self.deleted = 0
+        self.rejected = 0
+        self.drs_migrations = 0
+        self.resized = 0
+        self.resize_failed = 0
+        self.maintenance_windows = 0
+        self._node_index: dict[str, ComputeNode] = {
+            n.node_id: n for n in self.region.iter_nodes()
+        }
+        self._bb_index: dict[str, BuildingBlock] = {
+            bb.bb_id: bb for bb in self.region.iter_building_blocks()
+        }
+        self._cpu_models: dict[str, HostCpuModel] = {
+            n.node_id: HostCpuModel(n.physical.vcpus, efficiency=0.97)
+            for n in self.region.iter_nodes()
+        }
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Seed the population, schedule recurring events, run to the end."""
+        start = self.config.start_time
+        end = start + self.config.duration_days * 86_400.0
+        for _ in range(self.config.initial_vms):
+            self.engine.schedule(start, VM_CREATE)
+        self._schedule_poisson(start, end, self.config.arrival_rate_per_hour / 3600.0, VM_CREATE)
+        self._schedule_poisson(start, end, self.config.resize_rate_per_hour / 3600.0, VM_RESIZE)
+        self._schedule_poisson(
+            start, end, self.config.maintenance_rate_per_day / 86_400.0, MAINT_START
+        )
+        t = start
+        while t < end:
+            self.engine.schedule(t, SCRAPE)
+            t += self.config.scrape_interval_s
+        t = start + self.config.drs_interval_s
+        while t < end:
+            self.engine.schedule(t, DRS_RUN)
+            t += self.config.drs_interval_s
+        self.engine.run_until(end)
+        return SimulationResult(
+            region=self.region,
+            store=self.store,
+            placement=self.placement,
+            scheduler_stats=dict(self.scheduler.stats),
+            drs_migrations=self.drs_migrations,
+            created=self.created,
+            deleted=self.deleted,
+            rejected=self.rejected,
+            events_processed=self.engine.processed,
+            vms=self.vms,
+            resized=self.resized,
+            resize_failed=self.resize_failed,
+            maintenance_windows=self.maintenance_windows,
+        )
+
+    # -- event handlers ----------------------------------------------------------
+
+    def _schedule_poisson(
+        self, start: float, end: float, rate_s: float, kind: str
+    ) -> None:
+        if rate_s <= 0:
+            return
+        t = start
+        while True:
+            t += float(self.rng.exponential(1.0 / rate_s))
+            if t >= end:
+                break
+            self.engine.schedule(t, kind)
+
+    def _handle_create(self, engine: SimulationEngine, event) -> None:
+        vm_id = f"sim-vm-{self._vm_counter:06d}"
+        self._vm_counter += 1
+        flavor = self._pick_flavor()
+        profile = profile_for_flavor(flavor, self.rng)
+        spec = RequestSpec(vm_id=vm_id, flavor=flavor)
+        try:
+            result = self.scheduler.schedule(spec)
+        except NoValidHost:
+            self.rejected += 1
+            return
+        bb = self._bb_index.get(result.host_id)
+        node = (
+            self._node_index.get(result.host_id)
+            if bb is None
+            else self._pick_node(bb, flavor)
+        )
+        if bb is None:
+            # Holistic scheduler returned a node id directly.
+            bb = self._bb_index[node.building_block] if node is not None else None
+        if node is None or bb is None:
+            # BB had placement room but no single node fits: release and drop.
+            self.placement.release(vm_id)
+            self.rejected += 1
+            return
+        vm = VM(vm_id=vm_id, flavor=flavor, created_at=engine.now)
+        vm.transition(VMState.BUILDING)
+        vm.transition(VMState.ACTIVE)
+        node.add_vm(vm)
+        self.vms[vm_id] = vm
+        self.demands[vm_id] = self.demand_model.demand_for(flavor, profile)
+        self.created += 1
+        lifetime = sample_lifetime(profile.name, self.rng)
+        engine.schedule(engine.now + lifetime, VM_DELETE, vm_id=vm_id)
+
+    def _handle_delete(self, engine: SimulationEngine, event) -> None:
+        vm_id = event.payload["vm_id"]
+        vm = self.vms.get(vm_id)
+        if vm is None or not vm.alive:
+            return
+        node = self._node_index[vm.node_id]
+        node.remove_vm(vm_id)
+        vm.transition(VMState.DELETED)
+        vm.deleted_at = engine.now
+        self.placement.release(vm_id)
+        self.demands.pop(vm_id, None)
+        self.deleted += 1
+
+    def _handle_resize(self, engine: SimulationEngine, event) -> None:
+        """Resize a random live VM to the next-larger same-family flavor.
+
+        Nova resizes re-run the scheduler; the VM may land on a different
+        compute host.  On failure the original allocation is restored.
+        """
+        candidates = [vm for vm in self.vms.values() if vm.alive]
+        if not candidates:
+            return
+        vm = candidates[int(self.rng.integers(0, len(candidates)))]
+        bigger = sorted(
+            (
+                f
+                for f in self.catalog.by_family(vm.flavor.family)
+                if f.vcpus > vm.flavor.vcpus
+                and f.spec("aggregate_class") == vm.flavor.spec("aggregate_class")
+            ),
+            key=lambda f: f.vcpus,
+        )
+        if not bigger:
+            return
+        new_flavor = bigger[0]
+        old_flavor = vm.flavor
+        old_node = self._node_index[vm.node_id]
+        old_bb = self._bb_index[old_node.building_block]
+
+        vm.transition(VMState.RESIZING)
+        old_node.remove_vm(vm.vm_id)
+        self.placement.release(vm.vm_id)
+        spec = RequestSpec(
+            vm_id=vm.vm_id, flavor=new_flavor, operation="resize"
+        )
+        try:
+            result = self.scheduler.schedule(spec)
+            bb = self._bb_index.get(result.host_id)
+            node = (
+                self._node_index.get(result.host_id)
+                if bb is None
+                else self._pick_node(bb, new_flavor)
+            )
+            if node is None:
+                raise NoValidHost("no node fits the resized VM")
+        except NoValidHost:
+            # Roll back: re-claim the original size on the original host.
+            if self.placement.allocation_for(vm.vm_id) is not None:
+                self.placement.release(vm.vm_id)
+            self.placement.claim(vm.vm_id, old_bb.bb_id, old_flavor.requested())
+            old_node.add_vm(vm)
+            vm.transition(VMState.ACTIVE)
+            self.resize_failed += 1
+            return
+        vm.flavor = new_flavor
+        node.add_vm(vm)
+        vm.transition(VMState.ACTIVE)
+        self.demands[vm.vm_id] = self.demand_model.demand_for(
+            new_flavor, profile_for_flavor(new_flavor, self.rng)
+        )
+        self.resized += 1
+
+    def _handle_maintenance_start(self, engine: SimulationEngine, event) -> None:
+        """Drain a random node: placements avoid it until the window ends."""
+        nodes = [n for n in self._node_index.values() if not n.maintenance]
+        if not nodes:
+            return
+        node = nodes[int(self.rng.integers(0, len(nodes)))]
+        node.maintenance = True
+        self.maintenance_windows += 1
+        engine.schedule(
+            engine.now + self.config.maintenance_duration_s,
+            MAINT_END,
+            node_id=node.node_id,
+        )
+
+    def _handle_maintenance_end(self, engine: SimulationEngine, event) -> None:
+        self._node_index[event.payload["node_id"]].maintenance = False
+
+    def _handle_scrape(self, engine: SimulationEngine, event) -> None:
+        now = np.asarray([engine.now])
+        samples = []
+        for node in self._node_index.values():
+            cpu_demand = 0.0
+            mem_mb = 0.0
+            tx = rx = 0.0
+            disk = 0.0
+            for vm in node.vms.values():
+                demand = self.demands.get(vm.vm_id)
+                if demand is None:
+                    continue
+                snap = demand.evaluate(now)
+                cpu_demand += float(snap.cpu_cores[0])
+                mem_mb += float(snap.memory_mb[0])
+                tx += float(snap.network_tx_kbps[0])
+                rx += float(snap.network_rx_kbps[0])
+                disk += float(snap.disk_gb[0])
+            usage_window = self._cpu_models[node.node_id].resolve_window(
+                cpu_demand, self.config.scrape_interval_s
+            )
+            usage = NodeUsage(
+                cpu_used_fraction=min(1.0, usage_window.cpu_used_fraction + 0.02),
+                memory_used_fraction=min(
+                    1.0, mem_mb / node.physical.memory_mb + 0.04
+                ),
+                network_tx_kbps=tx,
+                network_rx_kbps=rx,
+                disk_used_gb=min(disk, node.physical.disk_gb),
+                cpu_ready_ms=usage_window.cpu_ready_ms,
+                cpu_contention_fraction=usage_window.cpu_contention_fraction,
+            )
+            samples.extend(self.vrops.scrape_node(node, usage, engine.now))
+        samples.extend(self.nova_exporter.scrape_region(self.region, engine.now))
+        self.store.ingest(samples)
+
+    def _handle_drs(self, engine: SimulationEngine, event) -> None:
+        now = np.asarray([engine.now])
+
+        def load_fn(vm: VM) -> float:
+            demand = self.demands.get(vm.vm_id)
+            if demand is None:
+                return float(vm.flavor.vcpus)
+            return float(demand.evaluate(now).cpu_cores[0])
+
+        for bb in self._bb_index.values():
+            if bb.policy == "pack":
+                continue  # DRS load-balancing is for spread BBs.
+            migrations = self.drs.run(bb, load_fn=load_fn)
+            self.drs_migrations += len(migrations)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _pick_flavor(self):
+        from repro.datagen.population import FLAVOR_MIX
+
+        names = [n for n, w in FLAVOR_MIX if w > 0 and n in self.catalog]
+        weights = np.asarray([w for n, w in FLAVOR_MIX if w > 0 and n in self.catalog])
+        idx = self.rng.choice(len(names), p=weights / weights.sum())
+        return self.catalog.get(names[int(idx)])
+
+    def _pick_node(self, bb: BuildingBlock, flavor) -> ComputeNode | None:
+        fitting = [
+            n
+            for n in bb.iter_nodes()
+            if not n.maintenance
+            and flavor.requested().fits_within(n.free(bb.overcommit))
+        ]
+        if not fitting:
+            return None
+        if bb.policy == "pack":
+            return max(
+                fitting,
+                key=lambda n: (
+                    n.allocated().memory_mb / n.physical.memory_mb,
+                    n.node_id,
+                ),
+            )
+        return min(
+            fitting,
+            key=lambda n: (n.allocated().vcpus / n.physical.vcpus, n.node_id),
+        )

@@ -1,0 +1,36 @@
+"""Telemetry substrate: a Prometheus/Thanos-like time-series pipeline.
+
+The paper's monitoring stack is Prometheus + Thanos fed by two exporters:
+the vROps exporter (``vrops_*`` metrics from VMware vRealize Operations) and
+the MySQL server exporter over the Nova DB (``openstack_compute_*`` metrics).
+This package reproduces that pipeline: typed time series, a label-indexed
+metric store with range queries and aggregation, the exact Table 4 metric
+catalogue, downsampling, and the CSV interchange format of the public
+dataset.
+"""
+
+from repro.telemetry.timeseries import TimeSeries
+from repro.telemetry.store import MetricStore, Sample
+from repro.telemetry.metrics import (
+    METRIC_CATALOG,
+    MetricSpec,
+    NOVA_METRICS,
+    VROPS_METRICS,
+    metric_table,
+)
+from repro.telemetry.downsample import downsample
+from repro.telemetry.exporters import NovaExporter, VropsExporter
+
+__all__ = [
+    "TimeSeries",
+    "MetricStore",
+    "Sample",
+    "MetricSpec",
+    "METRIC_CATALOG",
+    "VROPS_METRICS",
+    "NOVA_METRICS",
+    "metric_table",
+    "downsample",
+    "VropsExporter",
+    "NovaExporter",
+]

@@ -1,0 +1,65 @@
+"""Thanos-style downsampling.
+
+The SAP pipeline stores long-term data through Thanos, which downsamples raw
+series into coarser resolutions while retaining min/max/mean/sum/count per
+window.  :func:`downsample` reproduces that so analyses can run on reduced
+data without losing the extreme values contention analysis depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.timeseries import TimeSeries
+
+
+@dataclass(frozen=True, slots=True)
+class DownsampledChunk:
+    """Aggregates of one downsampling window."""
+
+    start: float
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    total: float
+
+
+def downsample(series: TimeSeries, window: float) -> list[DownsampledChunk]:
+    """Reduce ``series`` to per-window aggregate chunks.
+
+    Windows are aligned to multiples of ``window`` from the first sample's
+    window start, matching Thanos' aligned blocks.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if len(series) == 0:
+        return []
+    origin = float(np.floor(series.timestamps[0] / window) * window)
+    bins = np.floor((series.timestamps - origin) / window).astype(int)
+    chunks: list[DownsampledChunk] = []
+    for b in np.unique(bins):
+        mask = bins == b
+        vals = series.values[mask]
+        chunks.append(
+            DownsampledChunk(
+                start=origin + b * window,
+                count=int(mask.sum()),
+                mean=float(np.mean(vals)),
+                minimum=float(np.min(vals)),
+                maximum=float(np.max(vals)),
+                total=float(np.sum(vals)),
+            )
+        )
+    return chunks
+
+
+def reconstruct(chunks: list[DownsampledChunk], field: str = "mean") -> TimeSeries:
+    """Rebuild a coarse series from chunks using one aggregate field."""
+    if field not in ("mean", "minimum", "maximum", "total", "count"):
+        raise ValueError(f"unknown field {field!r}")
+    ts = np.asarray([c.start for c in chunks], dtype=float)
+    vs = np.asarray([getattr(c, field) for c in chunks], dtype=float)
+    return TimeSeries(ts, vs)

@@ -1,0 +1,166 @@
+"""Exporter front-ends: translate simulation state into metric samples.
+
+Two exporters feed the paper's monitoring system (§4):
+
+- the **vROps exporter** publishes VMware vRealize Operations data as
+  ``vrops_*`` metrics (host CPU/memory/network/storage and VM usage ratios);
+- the **MySQL server exporter** over the Nova database publishes
+  ``openstack_compute_*`` allocation gauges.
+
+Here each exporter turns a point-in-time snapshot of the simulated
+infrastructure into :class:`~repro.telemetry.store.Sample` records with the
+exact metric names and label conventions of the public dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.infrastructure.hierarchy import ComputeNode, Region
+from repro.telemetry.store import Sample
+
+
+@dataclass(frozen=True, slots=True)
+class NodeUsage:
+    """Measured (not allocated) utilisation of one node at one instant."""
+
+    cpu_used_fraction: float  # 0..1 of physical CPU
+    memory_used_fraction: float  # 0..1 of physical memory
+    network_tx_kbps: float
+    network_rx_kbps: float
+    disk_used_gb: float
+    cpu_ready_ms: float  # summed vCPU ready time in the sampling window
+    cpu_contention_fraction: float  # 0..1
+
+
+@dataclass(frozen=True, slots=True)
+class VMUsage:
+    """Measured utilisation ratios of one VM at one instant."""
+
+    cpu_usage_ratio: float  # used / requested CPU, 0..1+
+    memory_consumed_ratio: float  # used / requested memory, 0..1+
+
+
+def _node_labels(node: ComputeNode) -> dict[str, str]:
+    return {
+        "hostsystem": node.node_id,
+        "building_block": node.building_block,
+        "datacenter": node.datacenter,
+        "availability_zone": node.az,
+    }
+
+
+class VropsExporter:
+    """Emits ``vrops_*`` samples for nodes and VMs."""
+
+    def scrape_node(
+        self, node: ComputeNode, usage: NodeUsage, timestamp: float
+    ) -> list[Sample]:
+        """All host-level vROps samples for one node at one instant."""
+        labels = tuple(sorted(_node_labels(node).items()))
+        return [
+            Sample(
+                "vrops_hostsystem_cpu_core_utilization_percentage",
+                labels, timestamp, 100.0 * usage.cpu_used_fraction,
+            ),
+            Sample(
+                "vrops_hostsystem_cpu_contention_percentage",
+                labels, timestamp, 100.0 * usage.cpu_contention_fraction,
+            ),
+            Sample(
+                "vrops_hostsystem_cpu_ready_milliseconds",
+                labels, timestamp, usage.cpu_ready_ms,
+            ),
+            Sample(
+                "vrops_hostsystem_memory_usage_percentage",
+                labels, timestamp, 100.0 * usage.memory_used_fraction,
+            ),
+            Sample(
+                "vrops_hostsystem_network_bytes_tx_kbps",
+                labels, timestamp, usage.network_tx_kbps,
+            ),
+            Sample(
+                "vrops_hostsystem_network_bytes_rx_kbps",
+                labels, timestamp, usage.network_rx_kbps,
+            ),
+            Sample(
+                "vrops_hostsystem_diskspace_usage_gigabytes",
+                labels, timestamp, usage.disk_used_gb,
+            ),
+        ]
+
+    def scrape_vm(
+        self, vm_id: str, node: ComputeNode, usage: VMUsage, timestamp: float
+    ) -> list[Sample]:
+        """VM-level usage-ratio samples."""
+        labels = tuple(
+            sorted({"virtualmachine": vm_id, "hostsystem": node.node_id}.items())
+        )
+        return [
+            Sample(
+                "vrops_virtualmachine_cpu_usage_ratio",
+                labels, timestamp, usage.cpu_usage_ratio,
+            ),
+            Sample(
+                "vrops_virtualmachine_memory_consumed_ratio",
+                labels, timestamp, usage.memory_consumed_ratio,
+            ),
+        ]
+
+
+class NovaExporter:
+    """Emits ``openstack_compute_*`` allocation gauges from placement state.
+
+    In the paper these come from the Nova database via the MySQL exporter;
+    here they are read off the region's allocation bookkeeping.  Note that
+    in the SAP deployment the Nova "compute host" is a whole building block,
+    so the gauges are published per BB.
+    """
+
+    def scrape_region(self, region: Region, timestamp: float) -> list[Sample]:
+        """All openstack_compute samples for one scrape of the region."""
+        samples: list[Sample] = []
+        total_vms = 0
+        for bb in region.iter_building_blocks():
+            labels = tuple(
+                sorted(
+                    {
+                        "compute_host": bb.bb_id,
+                        "datacenter": bb.datacenter,
+                        "availability_zone": bb.az,
+                    }.items()
+                )
+            )
+            physical = bb.physical()
+            allocatable = bb.overcommit.allocatable(physical)
+            allocated = bb.allocated()
+            total_vms += bb.vm_count
+            samples.extend(
+                [
+                    Sample(
+                        "openstack_compute_nodes_vcpus_gauge",
+                        labels, timestamp, allocatable.vcpus,
+                    ),
+                    Sample(
+                        "openstack_compute_nodes_vcpus_used_gauge",
+                        labels, timestamp, allocated.vcpus,
+                    ),
+                    Sample(
+                        "openstack_compute_nodes_memory_mb_gauge",
+                        labels, timestamp, allocatable.memory_mb,
+                    ),
+                    Sample(
+                        "openstack_compute_nodes_memory_mb_used_gauge",
+                        labels, timestamp, allocated.memory_mb,
+                    ),
+                ]
+            )
+        samples.append(
+            Sample(
+                "openstack_compute_instances_total",
+                (("region", region.region_id),),
+                timestamp,
+                float(total_vms),
+            )
+        )
+        return samples

@@ -1,0 +1,135 @@
+"""The metric catalogue of the study (Table 4).
+
+Each metric carries its subsystem (compute host / VM / region), resource
+class, unit, and the sampling interval used in the SAP deployment (30–300 s,
+§4).  The names are the exact exporter names from the paper so analyses
+written against this library translate directly to the public dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSpec:
+    """Metadata for one exported metric."""
+
+    name: str
+    subsystem: str  # "compute_host" | "vm" | "region"
+    resource: str  # "cpu" | "memory" | "network" | "storage" | "inventory"
+    unit: str
+    description: str
+    sampling_seconds: int = 300
+
+    @property
+    def source(self) -> str:
+        """Which exporter produces this metric: ``vrops`` or ``openstack``."""
+        return "vrops" if self.name.startswith("vrops_") else "openstack"
+
+
+#: Table 4 of the paper, verbatim metric names.
+METRIC_CATALOG: tuple[MetricSpec, ...] = (
+    MetricSpec(
+        "vrops_hostsystem_cpu_core_utilization_percentage",
+        "compute_host", "cpu", "percent",
+        "Utilization of CPU per compute host", 300,
+    ),
+    MetricSpec(
+        "vrops_hostsystem_cpu_contention_percentage",
+        "compute_host", "cpu", "percent",
+        "Observed CPU contention per compute host", 300,
+    ),
+    MetricSpec(
+        "vrops_hostsystem_cpu_ready_milliseconds",
+        "compute_host", "cpu", "milliseconds",
+        "Duration a VM is ready but waits for scheduling", 300,
+    ),
+    MetricSpec(
+        "vrops_hostsystem_memory_usage_percentage",
+        "compute_host", "memory", "percent",
+        "Utilization of compute host memory", 300,
+    ),
+    MetricSpec(
+        "vrops_hostsystem_network_bytes_tx_kbps",
+        "compute_host", "network", "kbps",
+        "Transmitted network traffic", 300,
+    ),
+    MetricSpec(
+        "vrops_hostsystem_network_bytes_rx_kbps",
+        "compute_host", "network", "kbps",
+        "Received network traffic", 300,
+    ),
+    MetricSpec(
+        "vrops_hostsystem_diskspace_usage_gigabytes",
+        "compute_host", "storage", "gigabytes",
+        "Utilization of local storage", 300,
+    ),
+    MetricSpec(
+        "vrops_virtualmachine_cpu_usage_ratio",
+        "vm", "cpu", "ratio",
+        "Percentage of requested and used CPU", 30,
+    ),
+    MetricSpec(
+        "vrops_virtualmachine_memory_consumed_ratio",
+        "vm", "memory", "ratio",
+        "Percentage of requested and used memory", 30,
+    ),
+    MetricSpec(
+        "openstack_compute_nodes_vcpus_gauge",
+        "compute_host", "cpu", "count",
+        "Number of vCPUs per compute host", 300,
+    ),
+    MetricSpec(
+        "openstack_compute_nodes_vcpus_used_gauge",
+        "compute_host", "cpu", "count",
+        "Number of vCPUs per compute host", 300,
+    ),
+    MetricSpec(
+        "openstack_compute_nodes_memory_mb_gauge",
+        "compute_host", "memory", "megabytes",
+        "Amount of memory in MB per compute host", 300,
+    ),
+    MetricSpec(
+        "openstack_compute_nodes_memory_mb_used_gauge",
+        "compute_host", "memory", "megabytes",
+        "Amount of utilized memory in MB per compute host", 300,
+    ),
+    MetricSpec(
+        "openstack_compute_instances_total",
+        "region", "inventory", "count",
+        "Total number of VMs within the regional deployment", 300,
+    ),
+)
+
+VROPS_METRICS: tuple[MetricSpec, ...] = tuple(
+    m for m in METRIC_CATALOG if m.source == "vrops"
+)
+NOVA_METRICS: tuple[MetricSpec, ...] = tuple(
+    m for m in METRIC_CATALOG if m.source == "openstack"
+)
+
+_BY_NAME: dict[str, MetricSpec] = {m.name: m for m in METRIC_CATALOG}
+
+
+def get_metric(name: str) -> MetricSpec:
+    """Look up a metric spec by its exporter name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown metric: {name!r}") from None
+
+
+def metric_table() -> list[dict[str, str]]:
+    """Table 4 as row dicts (name, subsystem, resource, description)."""
+    return [
+        {
+            "metric": m.name,
+            "subsystem": m.subsystem,
+            "resource": m.resource,
+            "unit": m.unit,
+            "description": m.description,
+            "source": m.source,
+        }
+        for m in METRIC_CATALOG
+    ]

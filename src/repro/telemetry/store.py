@@ -1,0 +1,213 @@
+"""Label-indexed metric store with range queries and aggregation.
+
+Models the Prometheus/Thanos role in the paper's pipeline (§4): exporters
+append samples for ``(metric, labels)`` pairs; analyses issue range queries
+and cross-series aggregations.  Storage is append-mostly; series are
+finalised into sorted numpy arrays lazily on first read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.telemetry.timeseries import TimeSeries
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _normalize_labels(labels: dict[str, str] | Labels | None) -> Labels:
+    if labels is None:
+        return ()
+    if isinstance(labels, dict):
+        return tuple(sorted(labels.items()))
+    return tuple(sorted(labels))
+
+
+@dataclass(frozen=True, slots=True)
+class Sample:
+    """One observation of one series."""
+
+    metric: str
+    labels: Labels
+    timestamp: float
+    value: float
+
+
+class _SeriesBuffer:
+    """Append buffer that finalises into a TimeSeries on demand."""
+
+    __slots__ = ("_ts", "_vs", "_finalized")
+
+    def __init__(self) -> None:
+        self._ts: list[float] = []
+        self._vs: list[float] = []
+        self._finalized: TimeSeries | None = None
+
+    def append(self, t: float, v: float) -> None:
+        self._ts.append(t)
+        self._vs.append(v)
+        self._finalized = None
+
+    def extend(self, ts: Iterable[float], vs: Iterable[float]) -> None:
+        self._ts.extend(ts)
+        self._vs.extend(vs)
+        self._finalized = None
+
+    def series(self) -> TimeSeries:
+        if self._finalized is None:
+            ts = np.asarray(self._ts, dtype=float)
+            vs = np.asarray(self._vs, dtype=float)
+            order = np.argsort(ts, kind="stable")
+            ts, vs = ts[order], vs[order]
+            # Deduplicate identical timestamps, keeping the last write.
+            if len(ts) > 1:
+                keep = np.append(np.diff(ts) > 0, True)
+                ts, vs = ts[keep], vs[keep]
+            self._finalized = TimeSeries(ts, vs)
+        return self._finalized
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+
+class MetricStore:
+    """In-memory time-series database keyed by (metric name, labels)."""
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, Labels], _SeriesBuffer] = {}
+
+    # -- writes ----------------------------------------------------------------
+
+    def append(
+        self,
+        metric: str,
+        labels: dict[str, str] | Labels | None,
+        timestamp: float,
+        value: float,
+    ) -> None:
+        """Append one sample."""
+        key = (metric, _normalize_labels(labels))
+        buf = self._series.get(key)
+        if buf is None:
+            buf = self._series[key] = _SeriesBuffer()
+        buf.append(timestamp, value)
+
+    def append_series(
+        self,
+        metric: str,
+        labels: dict[str, str] | Labels | None,
+        series: TimeSeries,
+    ) -> None:
+        """Append a whole series at once (bulk ingest)."""
+        key = (metric, _normalize_labels(labels))
+        buf = self._series.get(key)
+        if buf is None:
+            buf = self._series[key] = _SeriesBuffer()
+        buf.extend(series.timestamps, series.values)
+
+    def ingest(self, samples: Iterable[Sample]) -> int:
+        """Ingest samples from an exporter scrape; returns the count."""
+        n = 0
+        for s in samples:
+            self.append(s.metric, s.labels, s.timestamp, s.value)
+            n += 1
+        return n
+
+    # -- reads ----------------------------------------------------------------
+
+    def metrics(self) -> list[str]:
+        """Distinct metric names, sorted."""
+        return sorted({metric for metric, _ in self._series})
+
+    def series_count(self, metric: str | None = None) -> int:
+        """Number of stored series, optionally for one metric."""
+        if metric is None:
+            return len(self._series)
+        return sum(1 for m, _ in self._series if m == metric)
+
+    def sample_count(self) -> int:
+        """Total samples across every series."""
+        return sum(len(buf) for buf in self._series.values())
+
+    def labelsets(self, metric: str) -> list[dict[str, str]]:
+        """All label sets stored for ``metric``."""
+        return [dict(labels) for m, labels in self._series if m == metric]
+
+    def query(
+        self, metric: str, labels: dict[str, str] | Labels | None = None
+    ) -> TimeSeries:
+        """The exact series for (metric, labels); empty if absent."""
+        key = (metric, _normalize_labels(labels))
+        buf = self._series.get(key)
+        return buf.series() if buf is not None else TimeSeries.empty()
+
+    def query_range(
+        self,
+        metric: str,
+        labels: dict[str, str] | Labels | None,
+        start: float,
+        end: float,
+    ) -> TimeSeries:
+        """Samples of one series within [start, end)."""
+        return self.query(metric, labels).between(start, end)
+
+    def select(
+        self, metric: str, matcher: dict[str, str] | None = None
+    ) -> Iterator[tuple[dict[str, str], TimeSeries]]:
+        """All series of ``metric`` whose labels include ``matcher``.
+
+        Mirrors a PromQL selector ``metric{k="v", ...}``.
+        """
+        wanted = (matcher or {}).items()
+        for (m, labels), buf in self._series.items():
+            if m != metric:
+                continue
+            label_dict = dict(labels)
+            if all(label_dict.get(k) == v for k, v in wanted):
+                yield label_dict, buf.series()
+
+    def aggregate_across(
+        self,
+        metric: str,
+        matcher: dict[str, str] | None = None,
+        agg: str | Callable[[np.ndarray], float] = "mean",
+    ) -> TimeSeries:
+        """Cross-series aggregation at each timestamp (PromQL ``agg(metric)``).
+
+        Timestamps are the union of all matched series; at each timestamp the
+        aggregation runs over the series that have a sample there.
+        """
+        agg_fn = _resolve_agg(agg)
+        all_series = [s for _, s in self.select(metric, matcher)]
+        if not all_series:
+            return TimeSeries.empty()
+        union = np.unique(np.concatenate([s.timestamps for s in all_series]))
+        values = np.full((len(all_series), len(union)), np.nan)
+        for i, s in enumerate(all_series):
+            idx = np.searchsorted(union, s.timestamps)
+            values[i, idx] = s.values
+        out = np.empty(len(union))
+        for j in range(len(union)):
+            col = values[:, j]
+            out[j] = agg_fn(col[~np.isnan(col)])
+        return TimeSeries(union, out)
+
+
+def _resolve_agg(agg: str | Callable[[np.ndarray], float]):
+    if callable(agg):
+        return agg
+    table = {
+        "mean": np.mean,
+        "max": np.max,
+        "min": np.min,
+        "sum": np.sum,
+        "p95": lambda a: np.percentile(a, 95),
+        "count": len,
+    }
+    try:
+        return table[agg]
+    except KeyError:
+        raise ValueError(f"unknown aggregation {agg!r}; known: {sorted(table)}") from None

@@ -1,0 +1,175 @@
+"""Typed, numpy-backed time series.
+
+A :class:`TimeSeries` is a pair of equal-length arrays — epoch-second
+timestamps (strictly increasing) and float values — plus convenience math
+for the statistics the analyses need (daily means, percentiles, resampling
+alignment).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+SECONDS_PER_DAY = 86_400
+
+
+class TimeSeries:
+    """An immutable (by convention) timestamped value sequence."""
+
+    __slots__ = ("timestamps", "values")
+
+    def __init__(self, timestamps: Iterable[float], values: Iterable[float]) -> None:
+        ts = np.asarray(list(timestamps) if not isinstance(timestamps, np.ndarray) else timestamps, dtype=float)
+        vs = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+        if ts.shape != vs.shape or ts.ndim != 1:
+            raise ValueError(
+                f"timestamps and values must be equal-length 1-D arrays, got {ts.shape} / {vs.shape}"
+            )
+        if len(ts) > 1 and not np.all(np.diff(ts) > 0):
+            raise ValueError("timestamps must be strictly increasing")
+        self.timestamps = ts
+        self.values = vs
+
+    # -- basics --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def __repr__(self) -> str:
+        if len(self) == 0:
+            return "TimeSeries(empty)"
+        return (
+            f"TimeSeries({len(self)} samples, "
+            f"[{self.timestamps[0]:.0f}..{self.timestamps[-1]:.0f}])"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return np.array_equal(self.timestamps, other.timestamps) and np.array_equal(
+            self.values, other.values
+        )
+
+    @classmethod
+    def empty(cls) -> "TimeSeries":
+        """A series with no samples."""
+        return cls(np.asarray([]), np.asarray([]))
+
+    @classmethod
+    def regular(cls, start: float, step: float, values: Iterable[float]) -> "TimeSeries":
+        """A series sampled every ``step`` seconds from ``start``."""
+        vs = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+        if step <= 0:
+            raise ValueError("step must be positive")
+        ts = start + step * np.arange(len(vs))
+        return cls(ts, vs)
+
+    # -- slicing ---------------------------------------------------------------
+
+    def between(self, start: float, end: float) -> "TimeSeries":
+        """Samples with ``start <= t < end``."""
+        mask = (self.timestamps >= start) & (self.timestamps < end)
+        return TimeSeries(self.timestamps[mask], self.values[mask])
+
+    def at_or_before(self, t: float) -> float | None:
+        """Most recent value at or before ``t`` (Prometheus instant query)."""
+        idx = np.searchsorted(self.timestamps, t, side="right") - 1
+        if idx < 0:
+            return None
+        return float(self.values[idx])
+
+    # -- statistics -------------------------------------------------------------
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values (raises on empty)."""
+        if len(self) == 0:
+            raise ValueError("mean of empty series")
+        return float(np.mean(self.values))
+
+    def max(self) -> float:
+        """Largest value (raises on empty)."""
+        if len(self) == 0:
+            raise ValueError("max of empty series")
+        return float(np.max(self.values))
+
+    def min(self) -> float:
+        """Smallest value (raises on empty)."""
+        if len(self) == 0:
+            raise ValueError("min of empty series")
+        return float(np.min(self.values))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the values (raises on empty)."""
+        if len(self) == 0:
+            raise ValueError("percentile of empty series")
+        return float(np.percentile(self.values, q))
+
+    def integral(self) -> float:
+        """Trapezoidal time-integral of the series (value·seconds)."""
+        if len(self) < 2:
+            return 0.0
+        return float(np.trapezoid(self.values, self.timestamps))
+
+    # -- transforms ---------------------------------------------------------------
+
+    def map(self, func) -> "TimeSeries":
+        """Apply ``func`` to the value array."""
+        return TimeSeries(self.timestamps, func(self.values))
+
+    def clip(self, low: float, high: float) -> "TimeSeries":
+        """Values clamped into ``[low, high]``."""
+        return TimeSeries(self.timestamps, np.clip(self.values, low, high))
+
+    def daily(self, agg: str = "mean", origin: float | None = None) -> "TimeSeries":
+        """Aggregate into one sample per UTC day.
+
+        ``agg`` is ``mean``, ``max``, ``min``, ``sum``, or ``p95``.  The
+        result's timestamps are day starts.  ``origin`` overrides the epoch
+        alignment (defaults to midnight-aligned epoch days).
+        """
+        return self.resample(SECONDS_PER_DAY, agg=agg, origin=origin)
+
+    def resample(
+        self, window: float, agg: str = "mean", origin: float | None = None
+    ) -> "TimeSeries":
+        """Aggregate into fixed windows of ``window`` seconds."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if len(self) == 0:
+            return TimeSeries.empty()
+        if origin is None:
+            origin = float(np.floor(self.timestamps[0] / window) * window)
+        bins = np.floor((self.timestamps - origin) / window).astype(int)
+        agg_fn = _AGGS.get(agg)
+        if agg_fn is None:
+            raise ValueError(f"unknown aggregation {agg!r}; known: {sorted(_AGGS)}")
+        out_ts: list[float] = []
+        out_vs: list[float] = []
+        for b in np.unique(bins):
+            mask = bins == b
+            out_ts.append(origin + b * window)
+            out_vs.append(agg_fn(self.values[mask]))
+        return TimeSeries(np.asarray(out_ts), np.asarray(out_vs))
+
+    def align_with(self, other: "TimeSeries") -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Intersect timestamps, returning (ts, self_values, other_values)."""
+        common, idx_a, idx_b = np.intersect1d(
+            self.timestamps, other.timestamps, return_indices=True
+        )
+        return common, self.values[idx_a], other.values[idx_b]
+
+    def __add__(self, other: "TimeSeries") -> "TimeSeries":
+        ts, a, b = self.align_with(other)
+        return TimeSeries(ts, a + b)
+
+
+_AGGS = {
+    "mean": lambda a: float(np.mean(a)),
+    "max": lambda a: float(np.max(a)),
+    "min": lambda a: float(np.min(a)),
+    "sum": lambda a: float(np.sum(a)),
+    "p95": lambda a: float(np.percentile(a, 95)),
+    "count": lambda a: float(len(a)),
+}

@@ -1,0 +1,130 @@
+"""Tests for the §7-motivated schedulers: contention-, lifetime-aware, holistic."""
+
+import pytest
+
+from repro.core.advanced_placement import (
+    ContentionAwareScheduler,
+    HolisticNodeScheduler,
+    LifetimeAwareScheduler,
+)
+from repro.infrastructure.flavors import default_catalog
+from repro.scheduler.pipeline import NoValidHost
+from repro.scheduler.placement import PlacementService
+from repro.scheduler.request import RequestSpec
+
+
+@pytest.fixture
+def placement(tiny_region):
+    service = PlacementService()
+    for bb in tiny_region.iter_building_blocks():
+        service.register_building_block(bb)
+    return service
+
+
+@pytest.fixture
+def catalog():
+    return default_catalog()
+
+
+def request(catalog, vm_id="v1", flavor="g_c4_m16", hints=None) -> RequestSpec:
+    return RequestSpec(
+        vm_id=vm_id, flavor=catalog.get(flavor), scheduler_hints=hints or {}
+    )
+
+
+class TestContentionAware:
+    def test_avoids_contended_host(self, tiny_region, placement, catalog):
+        # dc1-gp-00 is bigger (would win on free resources) but contended.
+        scheduler = ContentionAwareScheduler(
+            tiny_region,
+            placement,
+            contention_scores={"dc1-gp-00": 35.0, "dc2-gp-00": 0.5},
+            contention_multiplier=5.0,
+        )
+        result = scheduler.schedule(request(catalog))
+        assert result.host_id == "dc2-gp-00"
+
+    def test_zero_contention_behaves_like_nova(self, tiny_region, placement, catalog):
+        scheduler = ContentionAwareScheduler(
+            tiny_region, placement, contention_scores={}
+        )
+        result = scheduler.schedule(request(catalog))
+        assert result.host_id == "dc1-gp-00"  # more free capacity wins
+
+
+class TestLifetimeAware:
+    def test_short_lived_vm_prefers_short_churn_host(
+        self, tiny_region, placement, catalog
+    ):
+        scheduler = LifetimeAwareScheduler(
+            tiny_region,
+            placement,
+            churn_classes={"dc1-gp-00": "long", "dc2-gp-00": "short"},
+            affinity_multiplier=10.0,
+        )
+        result = scheduler.schedule(
+            request(catalog, hints={"expected_lifetime_s": "1800"})
+        )
+        assert result.host_id == "dc2-gp-00"
+
+    def test_long_lived_vm_prefers_long_churn_host(
+        self, tiny_region, placement, catalog
+    ):
+        scheduler = LifetimeAwareScheduler(
+            tiny_region,
+            placement,
+            churn_classes={"dc1-gp-00": "short", "dc2-gp-00": "long"},
+            affinity_multiplier=10.0,
+        )
+        result = scheduler.schedule(
+            request(catalog, hints={"expected_lifetime_s": str(90 * 86_400)})
+        )
+        assert result.host_id == "dc2-gp-00"
+
+    def test_no_hint_is_neutral(self, tiny_region, placement, catalog):
+        scheduler = LifetimeAwareScheduler(
+            tiny_region,
+            placement,
+            churn_classes={"dc1-gp-00": "short"},
+            affinity_multiplier=10.0,
+        )
+        result = scheduler.schedule(request(catalog))
+        assert result.host_id == "dc1-gp-00"  # free capacity decides
+
+
+class TestHolistic:
+    def test_places_on_individual_node(self, tiny_region, placement, catalog):
+        scheduler = HolisticNodeScheduler(tiny_region, placement)
+        result = scheduler.schedule(request(catalog))
+        node = tiny_region.find_node(result.host_id)  # raises if not a node
+        assert node.building_block in ("dc1-gp-00", "dc2-gp-00")
+
+    def test_claim_booked_against_owning_bb(self, tiny_region, placement, catalog):
+        scheduler = HolisticNodeScheduler(tiny_region, placement)
+        result = scheduler.schedule(request(catalog))
+        allocation = placement.allocation_for("v1")
+        assert allocation.provider_id == scheduler.node_building_block(result.host_id)
+
+    def test_respects_aggregate_exclusivity(self, tiny_region, placement, catalog):
+        scheduler = HolisticNodeScheduler(tiny_region, placement)
+        for i in range(10):
+            result = scheduler.schedule(request(catalog, vm_id=f"v{i}"))
+            assert "hana" not in result.host_id
+
+    def test_sees_intra_bb_state(self, tiny_region, placement, catalog):
+        """Unlike the two-layer split, candidates are nodes, so the ranked
+        list contains every node of the surviving BBs."""
+        scheduler = HolisticNodeScheduler(tiny_region, placement)
+        states = scheduler.node_states()
+        assert len(states) == tiny_region.node_count
+
+    def test_no_valid_node_raises(self, tiny_region, placement, catalog):
+        scheduler = HolisticNodeScheduler(tiny_region, placement)
+        spec = RequestSpec(
+            vm_id="vx",
+            flavor=catalog.get("g_c4_m16"),
+            availability_zone="nonexistent",
+        )
+        with pytest.raises(NoValidHost):
+            scheduler.schedule(spec)
+        assert scheduler.stats["failed"] == 1

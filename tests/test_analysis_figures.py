@@ -1,0 +1,72 @@
+"""Tests for the per-figure analysis builders (Figs 5-15)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figures
+
+
+class TestHeatmapFigures:
+    def test_fig5_defaults_to_first_dc(self, small_dataset):
+        heatmap = figures.fig5_dc_cpu_heatmap(small_dataset)
+        dc = small_dataset.datacenters()[0]
+        assert heatmap.shape[1] == len(small_dataset.nodes_in(dc_id=dc))
+
+    def test_fig6_bb_level(self, small_dataset):
+        heatmap = figures.fig6_bb_cpu_heatmap(small_dataset)
+        assert heatmap.level == "building_block"
+        assert heatmap.shape[1] >= 2
+
+    def test_fig7_picks_most_imbalanced_bb(self, small_dataset):
+        from repro.core.imbalance import bb_imbalance_report
+
+        heatmap = figures.fig7_intra_bb_cpu_heatmap(small_dataset)
+        report = bb_imbalance_report(small_dataset)
+        eligible = report.filter(np.asarray(report["node_count"], dtype=float) >= 3)
+        assert set(heatmap.columns) <= {
+            f"{bb}-node-{i:03d}"
+            for bb in [str(b) for b in eligible["bb_id"]]
+            for i in range(200)
+        }
+
+    def test_fig7_explicit_bb(self, small_dataset):
+        bb = small_dataset.building_blocks()[0]
+        heatmap = figures.fig7_intra_bb_cpu_heatmap(small_dataset, bb_id=bb)
+        assert all(col.startswith(bb) for col in heatmap.columns)
+
+    @pytest.mark.parametrize(
+        "builder,resource",
+        [
+            (figures.fig10_memory_heatmap, "memory"),
+            (figures.fig11_network_tx_heatmap, "network_tx"),
+            (figures.fig12_network_rx_heatmap, "network_rx"),
+            (figures.fig13_storage_heatmap, "storage"),
+        ],
+    )
+    def test_resource_heatmaps(self, small_dataset, builder, resource):
+        heatmap = builder(small_dataset)
+        assert heatmap.resource == resource
+        assert heatmap.shape[0] == 30
+
+
+class TestSeriesFigures:
+    def test_fig8_long_format(self, small_dataset):
+        frame = figures.fig8_top_ready_nodes(small_dataset, n=5)
+        assert set(frame.names) == {"node_id", "timestamp", "ready_ms"}
+        assert len(frame.unique("node_id")) == 5
+
+    def test_fig9_daily_rows(self, small_dataset):
+        frame = figures.fig9_contention_aggregate(small_dataset)
+        assert len(frame) == 30
+
+    def test_fig14_both_resources(self, small_dataset):
+        cdfs = figures.fig14_utilization_cdfs(small_dataset)
+        assert set(cdfs) == {"cpu", "memory"}
+        for values, fractions in cdfs.values():
+            assert len(values) == small_dataset.vm_count
+            assert fractions[-1] == pytest.approx(1.0)
+
+    def test_fig15_flavor_table(self, small_dataset):
+        frame = figures.fig15_lifetime_per_flavor(small_dataset)
+        assert len(frame) >= 5
+        assert np.all(np.asarray(frame["vm_count"], dtype=float) >= 30)

@@ -1,0 +1,75 @@
+"""Tests for the per-table builders (Tables 1-5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import tables
+
+
+class TestTables1And2:
+    def test_table1_shares_match_paper(self, small_dataset):
+        table = tables.table1_vcpu_classes(small_dataset)
+        shares = dict(zip(table["category"], np.asarray(table["share"], dtype=float)))
+        paper = dict(
+            zip(table["category"], np.asarray(table["paper_share"], dtype=float))
+        )
+        for category in ("small", "medium", "large", "xlarge"):
+            assert shares[category] == pytest.approx(paper[category], abs=0.06)
+
+    def test_table2_shares_match_paper(self, small_dataset):
+        table = tables.table2_ram_classes(small_dataset)
+        shares = dict(zip(table["category"], np.asarray(table["share"], dtype=float)))
+        paper = dict(
+            zip(table["category"], np.asarray(table["paper_share"], dtype=float))
+        )
+        for category in ("small", "medium", "large", "xlarge"):
+            assert shares[category] == pytest.approx(paper[category], abs=0.06)
+
+    def test_paper_counts_embedded(self, small_dataset):
+        table = tables.table1_vcpu_classes(small_dataset)
+        counts = dict(
+            zip(table["category"], np.asarray(table["paper_count"], dtype=int))
+        )
+        assert counts == {"small": 28_446, "medium": 14_340, "large": 1_831,
+                          "xlarge": 738}
+
+
+class TestTable3:
+    def test_sap_row_computed_from_dataset(self, small_dataset):
+        table = tables.table3_dataset_comparison(small_dataset)
+        rows = {str(r["dataset"]): r for r in table.rows()}
+        sap = rows["SAP (this work)"]
+        assert sap["vms"] == 1
+        assert sap["cpu"] == 1 and sap["memory"] == 1
+        assert sap["network"] == 1 and sap["storage"] == 1
+        assert sap["duration_days"] == 30
+        assert sap["public"] == 1
+
+    def test_sap_is_only_public_vm_dataset(self, small_dataset):
+        """Table 3's headline: the SAP dataset is the only public one with
+        VM workloads."""
+        table = tables.table3_dataset_comparison(small_dataset)
+        public_vm = [
+            r for r in table.rows() if r["vms"] == 1 and r["public"] == 1
+        ]
+        assert len(public_vm) == 1
+        assert public_vm[0]["dataset"] == "SAP (this work)"
+
+    def test_lifetime_span_reaches_years(self, small_dataset):
+        table = tables.table3_dataset_comparison(small_dataset)
+        rows = {str(r["dataset"]): r for r in table.rows()}
+        assert str(rows["SAP (this work)"]["lifetime"]).endswith("years")
+
+    def test_seven_rows(self, small_dataset):
+        assert len(tables.table3_dataset_comparison(small_dataset)) == 7
+
+
+class TestTables4And5:
+    def test_table4_all_metrics(self):
+        table = tables.table4_metric_catalog()
+        assert len(table) == 14
+
+    def test_table5_static_reference(self):
+        table = tables.table5_datacenters()
+        assert len(table) == 29
+        assert int(np.sum(np.asarray(table["hypervisors"], dtype=int))) == 6541

@@ -1,0 +1,150 @@
+"""Tests for the bin-packing heuristics, including classic guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines.binpacking import (
+    Bin,
+    Item,
+    best_fit,
+    best_fit_decreasing,
+    first_fit,
+    first_fit_decreasing,
+    next_fit,
+    pack,
+    worst_fit,
+)
+from repro.infrastructure.capacity import Capacity
+
+BIN = Capacity(vcpus=10, memory_mb=10_000, disk_gb=100)
+
+
+def item(item_id, vcpus, mem=0.0, disk=0.0) -> Item:
+    return Item(item_id, Capacity(vcpus=vcpus, memory_mb=mem, disk_gb=disk))
+
+
+class TestBin:
+    def test_add_updates_used(self):
+        b = Bin("b", BIN)
+        b.add(item("i", 4))
+        assert b.used.vcpus == 4
+        assert b.remaining().vcpus == 6
+
+    def test_add_overflow_rejected(self):
+        b = Bin("b", BIN)
+        with pytest.raises(ValueError):
+            b.add(item("i", 11))
+
+    def test_fill_fraction_dominant(self):
+        b = Bin("b", BIN)
+        b.add(item("i", 2, mem=9000))
+        assert b.fill_fraction() == pytest.approx(0.9)
+
+
+class TestHeuristics:
+    def test_first_fit_earliest_bin(self):
+        result = first_fit([item("a", 6), item("b", 6), item("c", 4)], BIN)
+        assignment = result.assignment()
+        # c fits back into bin 0 next to a.
+        assert assignment["c"] == assignment["a"]
+
+    def test_best_fit_picks_tightest(self):
+        # Bins end up at 6/10 and 8/10; a 2-sized item best-fits the 8 bin.
+        result = best_fit([item("a", 6), item("b", 8), item("c", 2)], BIN)
+        assignment = result.assignment()
+        assert assignment["c"] == assignment["b"]
+
+    def test_worst_fit_picks_emptiest(self):
+        result = worst_fit([item("a", 6), item("b", 8), item("c", 2)], BIN)
+        assignment = result.assignment()
+        assert assignment["c"] == assignment["a"]
+
+    def test_next_fit_never_looks_back(self):
+        result = next_fit([item("a", 6), item("b", 6), item("c", 4)], BIN)
+        # b opened bin 1; c fits there, bin 0 is never revisited.
+        assignment = result.assignment()
+        assert assignment["c"] == assignment["b"]
+        assert result.bins_used == 2
+
+    def test_ffd_beats_ff_on_adversarial_input(self):
+        # Classic: small items first makes First-Fit waste bins.
+        items = [item(f"s{i}", 3) for i in range(6)] + [item(f"b{i}", 7) for i in range(6)]
+        ff = first_fit(items, BIN)
+        ffd = first_fit_decreasing(items, BIN)
+        assert ffd.bins_used <= ff.bins_used
+        assert ffd.bins_used == 6  # 7+3 pairs: provably optimal
+
+    def test_bfd_optimal_on_pairable_input(self):
+        items = [item(f"a{i}", 7) for i in range(4)] + [item(f"b{i}", 3) for i in range(4)]
+        assert best_fit_decreasing(items, BIN).bins_used == 4
+
+    def test_oversized_item_unplaced(self):
+        result = first_fit([item("huge", 11)], BIN)
+        assert result.bins_used == 0
+        assert [i.item_id for i in result.unplaced] == ["huge"]
+
+    def test_max_bins_limits_and_reports_unplaced(self):
+        items = [item(f"i{i}", 10) for i in range(5)]
+        result = first_fit(items, BIN, max_bins=3)
+        assert result.bins_used == 3
+        assert len(result.unplaced) == 2
+
+    def test_multi_dimensional_constraint(self):
+        # CPU fits everywhere, memory forces a second bin.
+        result = first_fit([item("a", 1, mem=9000), item("b", 1, mem=9000)], BIN)
+        assert result.bins_used == 2
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            pack([], BIN, rule="magic")
+
+    def test_empty_input(self):
+        result = first_fit([], BIN)
+        assert result.bins_used == 0
+        assert result.unplaced == []
+
+
+_items = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=1, max_value=10_000),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@pytest.mark.parametrize("algo", [first_fit, best_fit, worst_fit, next_fit,
+                                  first_fit_decreasing, best_fit_decreasing])
+@given(raw=_items)
+def test_property_packing_invariants(algo, raw):
+    """No bin overflows; every item is placed exactly once or unplaced."""
+    items = [item(f"i{k}", v, mem=m) for k, (v, m) in enumerate(raw)]
+    result = algo(items, BIN)
+    placed_ids = []
+    for b in result.bins:
+        assert b.used.fits_within(b.capacity)
+        total = Capacity()
+        for it in b.items:
+            total = total + it.size
+            placed_ids.append(it.item_id)
+        assert total.vcpus == pytest.approx(b.used.vcpus)
+    all_ids = placed_ids + [i.item_id for i in result.unplaced]
+    assert sorted(all_ids) == sorted(i.item_id for i in items)
+    assert len(placed_ids) == len(set(placed_ids))
+
+
+@given(raw=_items)
+def test_property_ffd_within_classic_bound(raw):
+    """FFD uses at most 11/9 * OPT + 1 bins; check against the size bound."""
+    items = [item(f"i{k}", v) for k, (v, _m) in enumerate(raw)]
+    result = first_fit_decreasing(items, BIN)
+    lower_bound = int(np.ceil(sum(i.size.vcpus for i in items) / BIN.vcpus))
+    assert result.bins_used <= np.ceil(11 / 9 * lower_bound) + 1
+
+
+@given(raw=_items)
+def test_property_next_fit_never_better_than_first_fit(raw):
+    items = [item(f"i{k}", v) for k, (v, _m) in enumerate(raw)]
+    assert first_fit(items, BIN).bins_used <= next_fit(items, BIN).bins_used

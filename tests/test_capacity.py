@@ -1,0 +1,102 @@
+"""Tests for capacity vectors and overcommit policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.infrastructure.capacity import (
+    Capacity,
+    GENERAL_OVERCOMMIT,
+    HANA_OVERCOMMIT,
+    OvercommitPolicy,
+)
+
+
+class TestCapacity:
+    def test_add(self):
+        total = Capacity(1, 2, 3, 4) + Capacity(10, 20, 30, 40)
+        assert total == Capacity(11, 22, 33, 44)
+
+    def test_sub_floors_at_zero(self):
+        out = Capacity(1, 100, 0, 0) - Capacity(5, 40, 0, 0)
+        assert out.vcpus == 0
+        assert out.memory_mb == 60
+
+    def test_scaled(self):
+        assert Capacity(2, 4, 6, 8).scaled(0.5) == Capacity(1, 2, 3, 4)
+
+    def test_negative_component_raises(self):
+        with pytest.raises(ValueError):
+            Capacity(vcpus=-1)
+
+    def test_fits_within(self):
+        small = Capacity(1, 1024, 10, 0)
+        big = Capacity(4, 4096, 100, 10)
+        assert small.fits_within(big)
+        assert not big.fits_within(small)
+
+    def test_fits_within_equal_is_true(self):
+        c = Capacity(2, 2, 2, 2)
+        assert c.fits_within(c)
+
+    def test_dominant_share_ignores_zero_totals(self):
+        item = Capacity(vcpus=2, memory_mb=512)
+        total = Capacity(vcpus=4, memory_mb=4096)
+        assert item.dominant_share(total) == pytest.approx(0.5)
+
+    def test_dominant_share_empty_total(self):
+        assert Capacity().dominant_share(Capacity()) == 0.0
+
+
+class TestOvercommitPolicy:
+    def test_allocatable_scales_cpu(self):
+        policy = OvercommitPolicy(cpu_ratio=4.0, memory_ratio=1.0)
+        out = policy.allocatable(Capacity(vcpus=10, memory_mb=100))
+        assert out.vcpus == 40
+        assert out.memory_mb == 100
+
+    def test_network_not_overcommitted(self):
+        policy = OvercommitPolicy(cpu_ratio=4.0)
+        out = policy.allocatable(Capacity(network_gbps=200))
+        assert out.network_gbps == 200
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(ValueError):
+            OvercommitPolicy(cpu_ratio=0)
+
+    def test_hana_policy_never_overcommits_memory(self):
+        assert HANA_OVERCOMMIT.memory_ratio == 1.0
+        assert HANA_OVERCOMMIT.cpu_ratio < GENERAL_OVERCOMMIT.cpu_ratio
+
+
+_cap = st.builds(
+    Capacity,
+    vcpus=st.floats(min_value=0, max_value=1e4),
+    memory_mb=st.floats(min_value=0, max_value=1e8),
+    disk_gb=st.floats(min_value=0, max_value=1e6),
+    network_gbps=st.floats(min_value=0, max_value=1e3),
+)
+
+
+@given(a=_cap, b=_cap)
+def test_property_addition_commutes(a, b):
+    assert a + b == b + a
+
+
+@given(a=_cap, b=_cap)
+def test_property_sum_fits_both(a, b):
+    total = a + b
+    assert a.fits_within(total)
+    assert b.fits_within(total)
+
+
+@given(a=_cap)
+def test_property_sub_self_is_zero(a):
+    assert a - a == Capacity()
+
+
+@given(a=_cap, b=_cap)
+def test_property_dominant_share_bounds(a, b):
+    share = a.dominant_share(b)
+    assert share >= 0.0
+    if a.fits_within(b):
+        assert share <= 1.0 + 1e-9

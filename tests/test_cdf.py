@@ -1,0 +1,64 @@
+"""Tests for CDF helpers (Fig 14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cdf import cdf_at, cdf_points, utilization_cdf
+
+
+def test_cdf_points_basic():
+    values, fractions = cdf_points([3.0, 1.0, 2.0])
+    assert list(values) == [1.0, 2.0, 3.0]
+    assert list(fractions) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+
+def test_cdf_points_empty():
+    values, fractions = cdf_points([])
+    assert len(values) == 0
+    assert len(fractions) == 0
+
+
+def test_cdf_at():
+    assert cdf_at([1, 2, 3, 4], 2.5) == 0.5
+    assert cdf_at([1, 2], 0) == 0.0
+    assert cdf_at([1, 2], 5) == 1.0
+
+
+def test_cdf_at_empty_raises():
+    with pytest.raises(ValueError):
+        cdf_at([], 1.0)
+
+
+def test_utilization_cdf_cpu_shape(small_dataset):
+    """Fig 14a: the CPU CDF rises steeply — >80% of mass below ratio 0.7."""
+    values, fractions = utilization_cdf(small_dataset, "cpu")
+    assert len(values) == small_dataset.vm_count
+    below = fractions[np.searchsorted(values, 0.70)]
+    assert below > 0.80
+
+
+def test_utilization_cdf_memory_shape(small_dataset):
+    """Fig 14b: memory mass is concentrated high — most VMs above 0.85."""
+    values, _fractions = utilization_cdf(small_dataset, "memory")
+    assert float(np.mean(values > 0.85)) > 0.40
+
+
+def test_utilization_cdf_unknown_resource(small_dataset):
+    with pytest.raises(ValueError):
+        utilization_cdf(small_dataset, "disk")
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_cdf_monotone_and_bounded(values):
+    sorted_values, fractions = cdf_points(values)
+    assert np.all(np.diff(sorted_values) >= 0)
+    assert np.all(np.diff(fractions) > 0)
+    assert fractions[-1] == pytest.approx(1.0)
+    assert fractions[0] > 0

@@ -1,0 +1,88 @@
+"""Tests for workload characterisation against the paper's §5.5 findings."""
+
+import numpy as np
+import pytest
+
+from repro.core.characterization import (
+    classify_utilization,
+    lifetime_by_flavor,
+    lifetime_size_correlation,
+    utilization_breakdown,
+    vm_size_tables,
+)
+
+
+class TestThresholds:
+    @pytest.mark.parametrize(
+        "ratio,expected",
+        [(0.0, "underutilized"), (0.699, "underutilized"), (0.70, "optimal"),
+         (0.85, "optimal"), (0.851, "overutilized"), (1.0, "overutilized")],
+    )
+    def test_classification_boundaries(self, ratio, expected):
+        assert classify_utilization(ratio) == expected
+
+
+class TestFig14Calibration:
+    def test_cpu_mostly_underutilized(self, small_dataset):
+        """Fig 14a: over 80% of VMs use less than 70% of allocated CPU."""
+        breakdown = utilization_breakdown(small_dataset, "cpu")
+        assert breakdown.underutilized > 0.80
+        assert breakdown.optimal > breakdown.overutilized
+
+    def test_memory_three_way_split(self, small_dataset):
+        """Fig 14b: ≈38% under, ≈10% optimal, remainder above 85%."""
+        breakdown = utilization_breakdown(small_dataset, "memory")
+        assert breakdown.underutilized == pytest.approx(0.38, abs=0.08)
+        assert breakdown.optimal == pytest.approx(0.10, abs=0.06)
+        assert breakdown.overutilized == pytest.approx(0.52, abs=0.10)
+
+    def test_shares_sum_to_one(self, small_dataset):
+        for resource in ("cpu", "memory"):
+            b = utilization_breakdown(small_dataset, resource)
+            assert b.underutilized + b.optimal + b.overutilized == pytest.approx(1.0)
+
+    def test_unknown_resource_raises(self, small_dataset):
+        with pytest.raises(ValueError):
+            utilization_breakdown(small_dataset, "gpu")
+
+
+class TestSizeTables:
+    def test_table_shapes(self, small_dataset):
+        table1, table2 = vm_size_tables(small_dataset)
+        assert list(table1["category"]) == ["small", "medium", "large", "xlarge"]
+        assert int(np.sum(table1["vm_count"])) == small_dataset.vm_count
+        assert int(np.sum(table2["vm_count"])) == small_dataset.vm_count
+
+    def test_table1_ordering_matches_paper(self, small_dataset):
+        """Table 1: small > medium > large > xlarge."""
+        table1, _ = vm_size_tables(small_dataset)
+        counts = list(np.asarray(table1["vm_count"], dtype=int))
+        assert counts[0] > counts[1] > counts[2] >= counts[3]
+
+    def test_table2_medium_dominates(self, small_dataset):
+        """Table 2: the 2–64 GiB class holds ~91% of all VMs."""
+        _, table2 = vm_size_tables(small_dataset)
+        counts = dict(zip(table2["category"], np.asarray(table2["vm_count"], dtype=int)))
+        assert counts["medium"] / small_dataset.vm_count > 0.80
+        # And xlarge (HANA) outnumbers both small and large.
+        assert counts["xlarge"] > counts["large"]
+
+
+class TestLifetimes:
+    def test_min_instances_filter(self, small_dataset):
+        table = lifetime_by_flavor(small_dataset, min_instances=30)
+        assert np.all(np.asarray(table["vm_count"], dtype=float) >= 30)
+
+    def test_lifetimes_span_minutes_to_months(self, small_dataset):
+        lifetimes = np.asarray(small_dataset.vms["lifetime_seconds"], dtype=float)
+        assert lifetimes.min() < 3 * 3600
+        assert lifetimes.max() > 180 * 86_400
+
+    def test_weak_size_lifetime_correlation(self, small_dataset):
+        """Fig 15: 'conclusions from VM size to lifetime are limited'."""
+        assert abs(lifetime_size_correlation(small_dataset)) < 0.35
+
+    def test_sorted_by_mean_lifetime(self, small_dataset):
+        table = lifetime_by_flavor(small_dataset)
+        means = np.asarray(table["mean_lifetime_s"], dtype=float)
+        assert np.all(np.diff(means) <= 0)

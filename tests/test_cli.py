@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "ds"
+    code = main(
+        [
+            "generate", "--out", str(out),
+            "--scale", "0.01", "--days", "4",
+            "--sampling", "21600", "--seed", "1",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+def test_generate_writes_archive(archive):
+    assert (archive / "meta.json").exists()
+    meta = json.loads((archive / "meta.json").read_text())
+    assert meta["seed"] == 1
+
+
+def test_summary(archive, capsys):
+    assert main(["summary", str(archive)]) == 0
+    out = capsys.readouterr().out
+    assert "nodes" in out
+    assert "vms" in out
+
+
+def test_report(archive, capsys):
+    assert main(["report", str(archive)]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 14" in out
+    assert "Table 5" in out
+
+
+def test_query(archive, capsys):
+    code = main(
+        [
+            "query", str(archive),
+            "max(vrops_hostsystem_cpu_core_utilization_percentage)",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "__agg__=max" in out
+
+
+def test_query_error_exit_code(archive, capsys):
+    assert main(["query", str(archive), "mean("]) == 2
+    assert "query error" in capsys.readouterr().err
+
+
+def test_missing_archive_rejected(tmp_path):
+    with pytest.raises(SystemExit, match="not a dataset archive"):
+        main(["summary", str(tmp_path)])
+
+
+def test_validate(archive, capsys):
+    assert main(["validate", str(archive)]) in (0, 1)
+    out = capsys.readouterr().out
+    assert "calibration checks passed" in out
+
+
+def test_figure_heatmap(archive, capsys):
+    assert main(["figure", str(archive), "fig10"]) == 0
+    out = capsys.readouterr().out
+    assert "free memory per node" in out
+    assert any(c in out for c in "░▒▓█")
+
+
+def test_figure_cdf(archive, capsys):
+    assert main(["figure", str(archive), "fig14"]) == 0
+    assert "utilisation CDF" in capsys.readouterr().out
+
+
+def test_figure_unknown(archive, capsys):
+    assert main(["figure", str(archive), "fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_help_lists_subcommands(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    out = capsys.readouterr().out
+    for sub in ("generate", "report", "summary", "query", "validate", "figure"):
+        assert sub in out

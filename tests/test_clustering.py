@@ -1,0 +1,67 @@
+"""Tests for workload clustering."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import cluster_workloads, kmeans
+
+
+class TestKmeans:
+    def test_separates_obvious_clusters(self, rng):
+        a = rng.normal(0.0, 0.1, size=(50, 2))
+        b = rng.normal(5.0, 0.1, size=(50, 2))
+        features = np.vstack([a, b])
+        _centers, assignments, inertia = kmeans(features, k=2, rng=rng)
+        first, second = assignments[:50], assignments[50:]
+        assert len(set(first.tolist())) == 1
+        assert len(set(second.tolist())) == 1
+        assert first[0] != second[0]
+        assert inertia < 50.0
+
+    def test_k1_groups_everything(self, rng):
+        features = rng.normal(size=(20, 3))
+        _c, assignments, _i = kmeans(features, k=1, rng=rng)
+        assert set(assignments.tolist()) == {0}
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), k=0, rng=rng)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((2, 2)), k=5, rng=rng)
+
+    def test_deterministic_given_seed(self):
+        features = np.random.default_rng(0).normal(size=(40, 4))
+        runs = [
+            kmeans(features, 3, np.random.default_rng(1))[1] for _ in range(2)
+        ]
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+
+class TestWorkloadClustering:
+    def test_every_vm_assigned(self, small_dataset):
+        result = cluster_workloads(small_dataset, k=4)
+        assert len(result.assignments) == small_dataset.vm_count
+        assert sum(c.size for c in result.clusters) == small_dataset.vm_count
+
+    def test_finds_database_archetype(self, small_dataset):
+        """The HANA population must surface as a memory-resident cluster."""
+        result = cluster_workloads(small_dataset, k=4)
+        labels = {c.label for c in result.clusters}
+        assert "memory-resident database" in labels
+
+    def test_finds_idle_overprovisioned_majority(self, small_dataset):
+        """Fig 14a: the dominant archetype is idle/overprovisioned — low
+        CPU with long lifetimes."""
+        result = cluster_workloads(small_dataset, k=4)
+        biggest = result.clusters[0]
+        assert biggest.cpu_avg < 0.5
+
+    def test_cluster_of_lookup(self, small_dataset):
+        result = cluster_workloads(small_dataset, k=3)
+        cluster = result.cluster_of(0)
+        assert cluster.cluster_id == result.assignments[0]
+
+    def test_clusters_sorted_by_size(self, small_dataset):
+        result = cluster_workloads(small_dataset, k=4)
+        sizes = [c.size for c in result.clusters]
+        assert sizes == sorted(sizes, reverse=True)

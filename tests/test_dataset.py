@@ -1,0 +1,88 @@
+"""Tests for the SAPCloudDataset facade: slicing, summary, CSV round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import SAPCloudDataset
+from repro.datagen import GeneratorConfig, generate_dataset
+
+
+@pytest.fixture(scope="module")
+def mini_dataset():
+    """A very small dataset so the CSV round-trip stays fast."""
+    return generate_dataset(
+        GeneratorConfig(scale=0.01, days=4, sampling_seconds=21_600, vm_series_limit=3)
+    )
+
+
+class TestSlicing:
+    def test_building_blocks_and_datacenters(self, small_dataset):
+        bbs = small_dataset.building_blocks()
+        dcs = small_dataset.datacenters()
+        assert len(bbs) >= 3
+        assert len(dcs) == 2
+        assert bbs == sorted(bbs)
+
+    def test_nodes_in_bb(self, small_dataset):
+        bb = small_dataset.building_blocks()[0]
+        nodes = small_dataset.nodes_in(bb_id=bb)
+        assert len(nodes) > 0
+        assert all(str(b) == bb for b in nodes["bb_id"])
+
+    def test_nodes_in_dc(self, small_dataset):
+        dc = small_dataset.datacenters()[0]
+        nodes = small_dataset.nodes_in(dc_id=dc)
+        assert all(str(d) == dc for d in nodes["dc_id"])
+
+    def test_vms_alive_at(self, small_dataset):
+        mid = (small_dataset.window_start + small_dataset.window_end) / 2
+        alive = small_dataset.vms_alive_at(mid)
+        assert 0 < len(alive) <= small_dataset.vm_count
+        created = np.asarray(alive["created_at"], dtype=float)
+        assert np.all(created <= mid)
+
+    def test_node_series_unknown_node_empty(self, small_dataset):
+        series = small_dataset.node_series(
+            "vrops_hostsystem_cpu_core_utilization_percentage", "ghost"
+        )
+        assert len(series) == 0
+
+    def test_summary_fields(self, small_dataset):
+        summary = small_dataset.summary()
+        assert summary["window_days"] == pytest.approx(30.0)
+        assert summary["nodes"] == small_dataset.node_count
+        assert summary["samples"] > 0
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_everything(self, mini_dataset, tmp_path):
+        mini_dataset.to_csv(tmp_path / "ds")
+        back = SAPCloudDataset.from_csv(tmp_path / "ds")
+
+        assert back.node_count == mini_dataset.node_count
+        assert back.vm_count == mini_dataset.vm_count
+        assert back.meta["seed"] == mini_dataset.meta["seed"]
+        assert set(back.store.metrics()) == set(mini_dataset.store.metrics())
+
+        node_id = str(mini_dataset.nodes["node_id"][0])
+        metric = "vrops_hostsystem_cpu_core_utilization_percentage"
+        original = mini_dataset.node_series(metric, node_id)
+        restored = back.node_series(metric, node_id)
+        np.testing.assert_allclose(restored.timestamps, original.timestamps)
+        np.testing.assert_allclose(restored.values, original.values, rtol=1e-9)
+
+    def test_round_trip_analysis_equivalence(self, mini_dataset, tmp_path):
+        """Analyses produce identical results on the reloaded dataset."""
+        from repro.core.characterization import utilization_breakdown
+
+        mini_dataset.to_csv(tmp_path / "ds")
+        back = SAPCloudDataset.from_csv(tmp_path / "ds")
+        a = utilization_breakdown(mini_dataset, "cpu")
+        b = utilization_breakdown(back, "cpu")
+        assert a.underutilized == pytest.approx(b.underutilized, abs=1e-9)
+
+    def test_expected_files_written(self, mini_dataset, tmp_path):
+        mini_dataset.to_csv(tmp_path / "ds")
+        names = {p.name for p in (tmp_path / "ds").iterdir()}
+        assert {"nodes.csv", "vms.csv", "events.csv", "meta.json"} <= names
+        assert any(n.startswith("metric_vrops_hostsystem_cpu") for n in names)

@@ -1,0 +1,66 @@
+"""Tests for per-VM demand synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.infrastructure.flavors import default_catalog
+from repro.workloads.demand import DemandModel
+from repro.workloads.profiles import PROFILES
+
+
+@pytest.fixture
+def model(rng):
+    return DemandModel(rng)
+
+
+@pytest.fixture
+def flavor():
+    return default_catalog().get("g_c8_m32")
+
+
+def test_demand_respects_flavor_limits(model, flavor):
+    demand = model.demand_for(flavor)
+    grid = np.arange(0, 3 * 86_400, 900.0)
+    snap = demand.evaluate(grid)
+    assert snap.cpu_cores.max() <= flavor.vcpus + 1e-9
+    assert snap.memory_mb.max() <= flavor.ram_mb + 1e-9
+    assert snap.disk_gb.max() <= flavor.disk_gb + 1e-9
+
+
+def test_ratios_are_demand_over_requested(model, flavor):
+    demand = model.demand_for(flavor)
+    grid = np.arange(0, 86_400, 900.0)
+    snap = demand.evaluate(grid)
+    np.testing.assert_allclose(snap.cpu_cores, snap.cpu_ratio * flavor.vcpus)
+    np.testing.assert_allclose(snap.memory_mb, snap.memory_ratio * flavor.ram_mb)
+
+
+def test_network_scales_with_cpu_activity(model, flavor):
+    demand = model.demand_for(flavor, PROFILES["k8s_infra"])
+    grid = np.arange(0, 86_400, 900.0)
+    snap = demand.evaluate(grid)
+    # TX is proportional to the CPU ratio; zero CPU means zero traffic.
+    assert np.all((snap.cpu_ratio > 0) | (snap.network_tx_kbps == 0))
+    assert np.all(snap.network_rx_kbps == pytest.approx(snap.network_tx_kbps * 0.8))
+
+
+def test_explicit_profile_honoured(model, flavor):
+    demand = model.demand_for(flavor, PROFILES["cicd"])
+    assert demand.profile.name == "cicd"
+
+
+def test_deterministic_given_seed(flavor):
+    grid = np.arange(0, 86_400, 900.0)
+    snaps = []
+    for _ in range(2):
+        model = DemandModel(np.random.default_rng(123))
+        snap = model.demand_for(flavor, PROFILES["general"]).evaluate(grid)
+        snaps.append(snap)
+    np.testing.assert_array_equal(snaps[0].cpu_cores, snaps[1].cpu_cores)
+    np.testing.assert_array_equal(snaps[0].memory_mb, snaps[1].memory_mb)
+
+
+def test_disk_constant_over_time(model, flavor):
+    demand = model.demand_for(flavor)
+    snap = demand.evaluate(np.arange(0, 86_400, 3600.0))
+    assert len(np.unique(snap.disk_gb)) == 1

@@ -1,0 +1,62 @@
+"""Tests for Thanos-style downsampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.telemetry.downsample import downsample, reconstruct
+from repro.telemetry.timeseries import TimeSeries
+
+
+def test_basic_windows():
+    series = TimeSeries.regular(0, 10, [1, 2, 3, 4, 5, 6])
+    chunks = downsample(series, 30)
+    assert len(chunks) == 2
+    assert chunks[0].count == 3
+    assert chunks[0].mean == pytest.approx(2.0)
+    assert chunks[1].minimum == 4
+    assert chunks[1].maximum == 6
+
+
+def test_window_alignment():
+    series = TimeSeries([35, 45, 65], [1.0, 2.0, 3.0])
+    chunks = downsample(series, 30)
+    assert [c.start for c in chunks] == [30, 60]
+
+
+def test_empty_series():
+    assert downsample(TimeSeries.empty(), 10) == []
+
+
+def test_invalid_window():
+    with pytest.raises(ValueError):
+        downsample(TimeSeries.regular(0, 1, [1]), 0)
+
+
+def test_reconstruct_mean():
+    series = TimeSeries.regular(0, 10, [1, 3, 10, 20])
+    coarse = reconstruct(downsample(series, 20), "mean")
+    assert list(coarse.values) == [2.0, 15.0]
+
+
+def test_reconstruct_unknown_field():
+    with pytest.raises(ValueError):
+        reconstruct([], "bogus")
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    ),
+    window=st.integers(min_value=1, max_value=1000),
+)
+def test_property_downsample_preserves_count_and_extremes(values, window):
+    series = TimeSeries.regular(0, 7, values)
+    chunks = downsample(series, window)
+    assert sum(c.count for c in chunks) == len(values)
+    assert min(c.minimum for c in chunks) == pytest.approx(min(values))
+    assert max(c.maximum for c in chunks) == pytest.approx(max(values))
+    total = sum(c.total for c in chunks)
+    assert total == pytest.approx(np.sum(np.asarray(values)), rel=1e-9, abs=1e-6)

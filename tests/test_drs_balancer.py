@@ -1,0 +1,108 @@
+"""Tests for the DRS load balancer."""
+
+import pytest
+
+from repro.drs.balancer import DrsBalancer, DrsConfig
+from repro.infrastructure.flavors import Flavor
+from repro.infrastructure.vm import VM
+from tests.conftest import make_bb
+
+
+def add_vm(bb, node_index, vm_id, vcpus=8, ram_gib=16):
+    node = list(bb.iter_nodes())[node_index]
+    node.add_vm(VM(vm_id=vm_id, flavor=Flavor(f"f-{vm_id}", vcpus=vcpus, ram_gib=ram_gib)))
+
+
+class TestImbalanceMetric:
+    def test_balanced_cluster_is_zero(self):
+        bb = make_bb(nodes=3)
+        for i in range(3):
+            add_vm(bb, i, f"v{i}", vcpus=8)
+        assert DrsBalancer().imbalance(bb) == pytest.approx(0.0)
+
+    def test_single_node_cluster_is_zero(self):
+        bb = make_bb(nodes=1)
+        add_vm(bb, 0, "v0")
+        assert DrsBalancer().imbalance(bb) == 0.0
+
+    def test_skewed_cluster_positive(self):
+        bb = make_bb(nodes=2)
+        add_vm(bb, 0, "v0", vcpus=32)
+        assert DrsBalancer().imbalance(bb) > 0.2
+
+    def test_custom_load_fn(self):
+        bb = make_bb(nodes=2)
+        add_vm(bb, 0, "v0", vcpus=32)
+        # With a load model that says the VM is idle, the cluster is balanced.
+        assert DrsBalancer().imbalance(bb, load_fn=lambda vm: 0.0) == 0.0
+
+
+class TestBalancing:
+    def test_migrates_from_hot_to_cold(self):
+        bb = make_bb(nodes=2)
+        for i in range(4):
+            add_vm(bb, 0, f"v{i}", vcpus=16)
+        balancer = DrsBalancer()
+        before = balancer.imbalance(bb)
+        migrations = balancer.run(bb)
+        assert migrations
+        assert balancer.imbalance(bb) < before
+        nodes = list(bb.iter_nodes())
+        assert nodes[1].vm_count > 0
+
+    def test_migration_records_are_consistent(self):
+        bb = make_bb(nodes=2)
+        for i in range(4):
+            add_vm(bb, 0, f"v{i}", vcpus=16)
+        migrations = DrsBalancer().run(bb)
+        for m in migrations:
+            assert m.source_node != m.target_node
+            assert m.improvement > 0
+        # Migration counters incremented on the VMs.
+        moved = {m.vm_id for m in migrations}
+        for vm in bb.vms():
+            assert vm.migrations == (1 if vm.vm_id in moved else 0)
+
+    def test_no_moves_below_threshold(self):
+        bb = make_bb(nodes=2)
+        add_vm(bb, 0, "v0", vcpus=2)  # tiny skew
+        config = DrsConfig(imbalance_threshold=0.5)
+        assert DrsBalancer(config=config).run(bb) == []
+
+    def test_max_moves_cap(self):
+        bb = make_bb(nodes=2)
+        for i in range(12):
+            add_vm(bb, 0, f"v{i}", vcpus=8)
+        config = DrsConfig(max_moves_per_run=2, imbalance_threshold=0.0)
+        assert len(DrsBalancer(config=config).run(bb)) <= 2
+
+    def test_respects_capacity_on_target(self):
+        bb = make_bb(nodes=2, cpu_ratio=1.0)
+        # Fill node 1 completely so nothing can move there.
+        add_vm(bb, 1, "big", vcpus=64)
+        for i in range(3):
+            add_vm(bb, 0, f"v{i}", vcpus=20)
+        migrations = DrsBalancer().run(bb)
+        assert all(m.target_node != f"{bb.bb_id}-n1" for m in migrations)
+
+    def test_prefers_light_vms(self):
+        """§3.2: heavy VMs are only moved when nothing lighter works."""
+        bb = make_bb(nodes=2)
+        add_vm(bb, 0, "heavy", vcpus=48)
+        for i in range(6):
+            add_vm(bb, 0, f"light{i}", vcpus=8)
+        config = DrsConfig(heavy_vm_cores=32.0, imbalance_threshold=0.01)
+        migrations = DrsBalancer(config=config).run(bb)
+        assert migrations
+        assert all(m.vm_id != "heavy" for m in migrations)
+
+    def test_empty_cluster_noop(self):
+        assert DrsBalancer().run(make_bb(nodes=3)) == []
+
+    def test_converges_to_threshold(self):
+        bb = make_bb(nodes=4)
+        for i in range(16):
+            add_vm(bb, 0, f"v{i}", vcpus=8)
+        balancer = DrsBalancer(config=DrsConfig(max_moves_per_run=50))
+        balancer.run(bb)
+        assert balancer.imbalance(bb) <= 0.2

@@ -1,0 +1,61 @@
+"""Property-based tests for the DRS balancer."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.drs.balancer import DrsBalancer, DrsConfig
+from repro.infrastructure.flavors import Flavor
+from repro.infrastructure.vm import VM
+from tests.conftest import make_bb
+
+_vm_sizes = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=32),  # vcpus
+        st.integers(min_value=0, max_value=3),  # initial node index
+    ),
+    max_size=25,
+)
+
+
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(sizes=_vm_sizes, nodes=st.integers(min_value=1, max_value=4))
+def test_property_drs_never_worsens_and_conserves(sizes, nodes):
+    """After any DRS run: imbalance never increases, no VM is lost or
+    duplicated, and no node exceeds its allocatable capacity."""
+    bb = make_bb(nodes=nodes)
+    node_list = list(bb.iter_nodes())
+    for i, (vcpus, node_index) in enumerate(sizes):
+        vm = VM(vm_id=f"v{i}", flavor=Flavor(f"f{i}", vcpus=vcpus, ram_gib=4))
+        node_list[node_index % nodes].add_vm(vm)
+
+    balancer = DrsBalancer(config=DrsConfig(max_moves_per_run=20))
+    before_ids = sorted(vm.vm_id for vm in bb.vms())
+    before_imbalance = balancer.imbalance(bb)
+
+    balancer.run(bb)
+
+    after_ids = sorted(vm.vm_id for vm in bb.vms())
+    assert after_ids == before_ids
+    assert balancer.imbalance(bb) <= before_imbalance + 1e-12
+    for node in bb.iter_nodes():
+        allocatable = bb.overcommit.allocatable(node.physical)
+        assert node.allocated().fits_within(allocatable)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sizes=_vm_sizes)
+def test_property_drs_idempotent_at_fixpoint(sizes):
+    """Once DRS stops recommending moves, a second run changes nothing."""
+    bb = make_bb(nodes=3)
+    node_list = list(bb.iter_nodes())
+    for i, (vcpus, node_index) in enumerate(sizes):
+        node_list[node_index % 3].add_vm(
+            VM(vm_id=f"v{i}", flavor=Flavor(f"f{i}", vcpus=vcpus, ram_gib=4))
+        )
+    balancer = DrsBalancer(config=DrsConfig(max_moves_per_run=50))
+    balancer.run(bb)
+    placement_before = {vm.vm_id: vm.node_id for vm in bb.vms()}
+    second = balancer.run(bb)
+    assert second == []
+    assert {vm.vm_id: vm.node_id for vm in bb.vms()} == placement_before

@@ -1,0 +1,50 @@
+"""Tests for advisory-mode DRS recommendations."""
+
+from repro.drs.balancer import DrsConfig
+from repro.drs.recommendations import recommend_moves
+from repro.infrastructure.flavors import Flavor
+from repro.infrastructure.vm import VM
+from tests.conftest import make_bb
+
+
+def _skewed_bb():
+    bb = make_bb(nodes=2)
+    node0 = list(bb.iter_nodes())[0]
+    for i in range(4):
+        node0.add_vm(VM(vm_id=f"v{i}", flavor=Flavor(f"f{i}", vcpus=16, ram_gib=32)))
+    return bb
+
+
+def test_recommendations_do_not_mutate_cluster():
+    bb = _skewed_bb()
+    before = {n.node_id: set(n.vms) for n in bb.iter_nodes()}
+    recs = recommend_moves(bb)
+    assert recs
+    after = {n.node_id: set(n.vms) for n in bb.iter_nodes()}
+    assert before == after
+    for vm in bb.vms():
+        assert vm.migrations == 0
+
+
+def test_priorities_in_range_and_ordered():
+    recs = recommend_moves(_skewed_bb())
+    assert all(1 <= r.priority <= 5 for r in recs)
+    # The largest improvement gets the most urgent priority.
+    best = max(recs, key=lambda r: r.improvement)
+    assert best.priority == 1
+
+
+def test_balanced_cluster_no_recommendations():
+    bb = make_bb(nodes=2)
+    assert recommend_moves(bb) == []
+
+
+def test_config_threshold_respected():
+    bb = _skewed_bb()
+    config = DrsConfig(imbalance_threshold=10.0)
+    assert recommend_moves(bb, config=config) == []
+
+
+def test_custom_load_fn_used():
+    bb = _skewed_bb()
+    assert recommend_moves(bb, load_fn=lambda vm: 0.0) == []

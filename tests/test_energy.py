@@ -1,0 +1,81 @@
+"""Tests for the energy model."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy import PowerModel, fleet_energy, packing_energy_comparison
+from repro.telemetry.timeseries import TimeSeries
+
+
+class TestPowerModel:
+    def test_power_interpolates_linearly(self):
+        model = PowerModel(idle_watts=200, peak_watts=800)
+        assert model.power_at(0.0) == 200
+        assert model.power_at(1.0) == 800
+        assert model.power_at(0.5) == 500
+
+    def test_utilization_clipped(self):
+        model = PowerModel(idle_watts=200, peak_watts=800)
+        assert model.power_at(2.0) == 800
+        assert model.power_at(-1.0) == 200
+
+    def test_energy_of_constant_series(self):
+        model = PowerModel(idle_watts=200, peak_watts=800)
+        series = TimeSeries.regular(0, 3600, [0.5] * 25)  # 24 hours
+        assert model.energy_kwh(series) == pytest.approx(500 * 24 / 1000)
+
+    def test_sleep_energy(self):
+        model = PowerModel(sleep_watts=10)
+        series = TimeSeries.regular(0, 3600, [0.9] * 25)
+        assert model.energy_kwh(series, asleep=True) == pytest.approx(10 * 24 / 1000)
+
+    def test_short_series_zero(self):
+        assert PowerModel().energy_kwh(TimeSeries.regular(0, 1, [0.5])) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(idle_watts=500, peak_watts=100)
+        with pytest.raises(ValueError):
+            PowerModel(idle_watts=-1)
+
+
+class TestFleetEnergy:
+    def test_report_totals_positive(self, small_dataset):
+        report = fleet_energy(small_dataset)
+        assert report.node_count == small_dataset.node_count
+        assert report.total_kwh > 0
+        assert 0 < report.idle_floor_kwh <= report.total_kwh
+
+    def test_idle_floor_dominates_underutilized_fleet(self, small_dataset):
+        """§5.1's underutilisation in energy terms: most energy is the
+        idle floor — the efficiency argument for consolidation."""
+        report = fleet_energy(small_dataset)
+        assert report.idle_share > 0.5
+
+    def test_consolidation_potential_exists(self, small_dataset):
+        report = fleet_energy(small_dataset)
+        assert report.consolidation_potential_kwh > 0
+        assert report.consolidation_potential_kwh < report.total_kwh
+
+
+class TestPackingComparison:
+    def test_packing_saves_energy(self):
+        """The same work on fewer, fuller nodes draws less power."""
+        spread = np.full(10, 0.2)  # 10 nodes at 20%
+        packed = np.full(4, 0.5)  # 4 nodes at 50% (same total work)
+        spread_kwh, packed_kwh = packing_energy_comparison(spread, packed, hours=24)
+        assert packed_kwh < spread_kwh
+
+    def test_sleep_power_counted(self):
+        spread = np.full(2, 0.1)
+        packed = np.full(1, 0.2)
+        model = PowerModel(idle_watts=100, peak_watts=200, sleep_watts=50)
+        _, packed_kwh = packing_energy_comparison(spread, packed, 1.0, model)
+        # One active node (100 + 100*0.2 = 120 W) + one sleeping (50 W).
+        assert packed_kwh == pytest.approx((120 + 50) / 1000, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            packing_energy_comparison(np.ones(1), np.ones(2), hours=1)
+        with pytest.raises(ValueError):
+            packing_energy_comparison(np.ones(2), np.ones(1), hours=0)

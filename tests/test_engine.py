@@ -1,0 +1,100 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation.engine import SimulationEngine
+
+
+def test_events_run_in_time_order():
+    engine = SimulationEngine()
+    seen = []
+    engine.on("e", lambda eng, ev: seen.append(ev.payload["tag"]))
+    engine.schedule(30, "e", tag="c")
+    engine.schedule(10, "e", tag="a")
+    engine.schedule(20, "e", tag="b")
+    engine.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_schedule_order():
+    engine = SimulationEngine()
+    seen = []
+    engine.on("e", lambda eng, ev: seen.append(ev.payload["tag"]))
+    for tag in ("first", "second", "third"):
+        engine.schedule(5.0, "e", tag=tag)
+    engine.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_handler_can_schedule_followups():
+    engine = SimulationEngine()
+    seen = []
+
+    def handler(eng, ev):
+        seen.append(eng.now)
+        if eng.now < 30:
+            eng.schedule(eng.now + 10, "tick")
+
+    engine.on("tick", handler)
+    engine.schedule(10, "tick")
+    engine.run()
+    assert seen == [10, 20, 30]
+
+
+def test_run_until_stops_at_boundary():
+    engine = SimulationEngine()
+    seen = []
+    engine.on("e", lambda eng, ev: seen.append(eng.now))
+    for t in (10, 20, 30):
+        engine.schedule(t, "e")
+    processed = engine.run_until(20)
+    assert processed == 2
+    assert engine.now == 20
+    assert engine.pending == 1
+
+
+def test_run_until_advances_clock_even_without_events():
+    engine = SimulationEngine()
+    engine.run_until(500)
+    assert engine.now == 500
+
+
+def test_schedule_in_past_rejected():
+    engine = SimulationEngine(start_time=100)
+    with pytest.raises(ValueError, match="before current time"):
+        engine.schedule(50, "e")
+
+
+def test_missing_handler_raises():
+    engine = SimulationEngine()
+    engine.schedule(1, "unknown")
+    with pytest.raises(KeyError, match="no handler"):
+        engine.run()
+
+
+def test_duplicate_handler_rejected():
+    engine = SimulationEngine()
+    engine.on("e", lambda eng, ev: None)
+    with pytest.raises(ValueError, match="already registered"):
+        engine.on("e", lambda eng, ev: None)
+
+
+def test_step_returns_none_when_empty():
+    assert SimulationEngine().step() is None
+
+
+def test_peek_time():
+    engine = SimulationEngine()
+    assert engine.peek_time() is None
+    engine.on("e", lambda eng, ev: None)
+    engine.schedule(42, "e")
+    assert engine.peek_time() == 42
+
+
+def test_processed_counter():
+    engine = SimulationEngine()
+    engine.on("e", lambda eng, ev: None)
+    for t in range(5):
+        engine.schedule(t, "e")
+    engine.run()
+    assert engine.processed == 5

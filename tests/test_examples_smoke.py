@@ -1,0 +1,59 @@
+"""Smoke tests: the shipped examples must keep running end to end.
+
+Only the fast examples run here (the dataset-generating ones are covered
+by the CLI and integration tests); each is executed as a subprocess, the
+way a user would run it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "scheduler_comparison.py",
+        "contention_analysis.py",
+        "rightsizing_report.py",
+        "dataset_export.py",
+        "qos_placement.py",
+        "capacity_energy.py",
+        "rebalancing.py",
+    } <= names
+
+
+def test_rebalancing_example_runs():
+    result = _run("rebalancing.py")
+    assert result.returncode == 0, result.stderr
+    assert "Rebalancing:" in result.stdout
+    assert "imbalance" in result.stdout
+
+
+def test_scheduler_comparison_example_runs():
+    result = _run("scheduler_comparison.py")
+    assert result.returncode == 0, result.stderr
+    assert "share on hot hosts" in result.stdout
+    assert "activated nodes" in result.stdout
+
+
+@pytest.mark.parametrize("name", ["quickstart.py"])
+def test_quickstart_runs_at_tiny_scale(name):
+    result = _run(name, "--scale", "0.01", "--sampling", "21600")
+    assert result.returncode == 0, result.stderr
+    assert "VM utilisation classes" in result.stdout
+    assert "paper" in result.stdout

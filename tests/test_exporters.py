@@ -1,0 +1,111 @@
+"""Tests for the vROps and Nova exporters."""
+
+import pytest
+
+from repro.infrastructure.flavors import Flavor
+from repro.infrastructure.vm import VM
+from repro.telemetry.exporters import NodeUsage, NovaExporter, VMUsage, VropsExporter
+from repro.telemetry.store import MetricStore
+from tests.conftest import make_node
+
+
+@pytest.fixture
+def usage() -> NodeUsage:
+    return NodeUsage(
+        cpu_used_fraction=0.5,
+        memory_used_fraction=0.25,
+        network_tx_kbps=1000.0,
+        network_rx_kbps=800.0,
+        disk_used_gb=100.0,
+        cpu_ready_ms=30_000.0,
+        cpu_contention_fraction=0.1,
+    )
+
+
+class TestVropsExporter:
+    def test_node_scrape_emits_all_host_metrics(self, usage):
+        node = make_node("n1")
+        samples = VropsExporter().scrape_node(node, usage, timestamp=60.0)
+        names = {s.metric for s in samples}
+        assert names == {
+            "vrops_hostsystem_cpu_core_utilization_percentage",
+            "vrops_hostsystem_cpu_contention_percentage",
+            "vrops_hostsystem_cpu_ready_milliseconds",
+            "vrops_hostsystem_memory_usage_percentage",
+            "vrops_hostsystem_network_bytes_tx_kbps",
+            "vrops_hostsystem_network_bytes_rx_kbps",
+            "vrops_hostsystem_diskspace_usage_gigabytes",
+        }
+
+    def test_fractions_become_percentages(self, usage):
+        node = make_node("n1")
+        samples = {
+            s.metric: s.value
+            for s in VropsExporter().scrape_node(node, usage, 0.0)
+        }
+        assert samples["vrops_hostsystem_cpu_core_utilization_percentage"] == 50.0
+        assert samples["vrops_hostsystem_cpu_contention_percentage"] == pytest.approx(10.0)
+        assert samples["vrops_hostsystem_cpu_ready_milliseconds"] == 30_000.0
+
+    def test_labels_carry_topology(self, usage):
+        node = make_node("n1")
+        node.building_block = "bb1"
+        node.datacenter = "dc1"
+        node.az = "az1"
+        sample = VropsExporter().scrape_node(node, usage, 0.0)[0]
+        labels = dict(sample.labels)
+        assert labels == {
+            "hostsystem": "n1",
+            "building_block": "bb1",
+            "datacenter": "dc1",
+            "availability_zone": "az1",
+        }
+
+    def test_vm_scrape(self):
+        node = make_node("n1")
+        samples = VropsExporter().scrape_vm(
+            "vm-1", node, VMUsage(cpu_usage_ratio=0.4, memory_consumed_ratio=0.9), 5.0
+        )
+        by_name = {s.metric: s for s in samples}
+        assert by_name["vrops_virtualmachine_cpu_usage_ratio"].value == 0.4
+        assert dict(by_name["vrops_virtualmachine_memory_consumed_ratio"].labels)[
+            "virtualmachine"
+        ] == "vm-1"
+
+
+class TestNovaExporter:
+    def test_region_scrape_gauges(self, tiny_region):
+        bb = tiny_region.find_building_block("dc1-gp-00")
+        node = next(bb.iter_nodes())
+        node.add_vm(VM(vm_id="v1", flavor=Flavor("f", vcpus=8, ram_gib=32)))
+
+        samples = NovaExporter().scrape_region(tiny_region, 0.0)
+        store = MetricStore()
+        store.ingest(samples)
+
+        used = store.query(
+            "openstack_compute_nodes_vcpus_used_gauge",
+            {
+                "compute_host": "dc1-gp-00",
+                "datacenter": "dc1",
+                "availability_zone": "az1",
+            },
+        )
+        assert used.values[0] == 8.0
+
+        total = store.query(
+            "openstack_compute_instances_total", {"region": "test-region"}
+        )
+        assert total.values[0] == 1.0
+
+    def test_vcpu_gauge_reflects_overcommit(self, tiny_region):
+        samples = NovaExporter().scrape_region(tiny_region, 0.0)
+        by_host = {
+            dict(s.labels).get("compute_host"): s.value
+            for s in samples
+            if s.metric == "openstack_compute_nodes_vcpus_gauge"
+        }
+        # dc1-gp-00: 4 nodes x 64 cores x ratio 4.0.
+        assert by_host["dc1-gp-00"] == 4 * 64 * 4.0
+        # HANA BB: 3 nodes x 224 cores x ratio 2.0.
+        assert by_host["dc1-hana-00"] == 3 * 224 * 2.0

@@ -1,0 +1,139 @@
+"""Tests for the Nova-style scheduler filters."""
+
+import pytest
+
+from repro.infrastructure.flavors import Flavor
+from repro.scheduler.filters import (
+    AggregateInstanceExtraSpecsFilter,
+    AllHostsFilter,
+    AvailabilityZoneFilter,
+    ComputeFilter,
+    DiskFilter,
+    MaintenanceFilter,
+    NumInstancesFilter,
+    RamFilter,
+    RetryFilter,
+    TenantIsolationFilter,
+    VCpuFilter,
+    default_filters,
+)
+from repro.scheduler.hoststate import HostState
+from repro.scheduler.request import RequestSpec
+
+
+def host(**kwargs) -> HostState:
+    defaults = dict(
+        host_id="h1",
+        az="az1",
+        free_vcpus=100,
+        free_ram_mb=1024 * 1024,
+        free_disk_gb=10_000,
+        total_vcpus=200,
+        total_ram_mb=2048 * 1024,
+        total_disk_gb=20_000,
+    )
+    defaults.update(kwargs)
+    return HostState(**defaults)
+
+
+def spec(vcpus=4, ram_gib=16, disk_gb=50, **kwargs) -> RequestSpec:
+    extra = kwargs.pop("extra_specs", ())
+    return RequestSpec(
+        vm_id="v1",
+        flavor=Flavor("f", vcpus=vcpus, ram_gib=ram_gib, disk_gb=disk_gb,
+                      extra_specs=extra),
+        **kwargs,
+    )
+
+
+class TestResourceFilters:
+    def test_all_hosts_filter_passes_everything(self):
+        assert AllHostsFilter().passes(host(enabled=False, free_vcpus=0), spec())
+
+    def test_compute_filter_checks_cpu_and_memory(self):
+        flt = ComputeFilter()
+        assert flt.passes(host(), spec())
+        assert not flt.passes(host(free_vcpus=3), spec(vcpus=4))
+        assert not flt.passes(host(free_ram_mb=1), spec(ram_gib=16))
+        assert not flt.passes(host(enabled=False), spec())
+
+    def test_compute_filter_exact_fit_passes(self):
+        assert ComputeFilter().passes(
+            host(free_vcpus=4, free_ram_mb=16 * 1024), spec(vcpus=4, ram_gib=16)
+        )
+
+    def test_vcpu_and_ram_filters(self):
+        assert VCpuFilter().passes(host(free_vcpus=4), spec(vcpus=4))
+        assert not VCpuFilter().passes(host(free_vcpus=3.9), spec(vcpus=4))
+        assert RamFilter().passes(host(), spec())
+        assert not RamFilter().passes(host(free_ram_mb=0), spec())
+
+    def test_disk_filter(self):
+        assert DiskFilter().passes(host(free_disk_gb=50), spec(disk_gb=50))
+        assert not DiskFilter().passes(host(free_disk_gb=49), spec(disk_gb=50))
+
+
+class TestConstraintFilters:
+    def test_az_filter(self):
+        flt = AvailabilityZoneFilter()
+        assert flt.passes(host(az="az1"), spec(availability_zone="az1"))
+        assert not flt.passes(host(az="az2"), spec(availability_zone="az1"))
+        assert flt.passes(host(az="az2"), spec())  # no AZ requested
+
+    def test_aggregate_filter_two_way_exclusive(self):
+        """§3.1: special-purpose BBs accept only matching flavors, and
+        matching flavors only land there."""
+        flt = AggregateInstanceExtraSpecsFilter()
+        hana_xl_host = host(aggregate_class="hana_xl")
+        plain_host = host(aggregate_class="")
+        xl_spec = spec(extra_specs=(("aggregate_class", "hana_xl"),))
+        assert flt.passes(hana_xl_host, xl_spec)
+        assert not flt.passes(plain_host, xl_spec)
+        assert not flt.passes(hana_xl_host, spec())
+        assert flt.passes(plain_host, spec())
+
+    def test_aggregate_filter_all_hana_classes_exclusive(self):
+        """HANA aggregates (plain and XL) accept no general-purpose VMs."""
+        flt = AggregateInstanceExtraSpecsFilter()
+        assert not flt.passes(host(aggregate_class="hana"), spec())
+        hana_spec = spec(extra_specs=(("aggregate_class", "hana"),))
+        assert flt.passes(host(aggregate_class="hana"), hana_spec)
+        assert not flt.passes(host(aggregate_class="hana_xl"), hana_spec)
+
+    def test_tenant_isolation(self):
+        flt = TenantIsolationFilter()
+        open_host = host()
+        locked = host(allowed_tenants=frozenset({"t1"}))
+        assert flt.passes(open_host, spec(tenant="anyone"))
+        assert flt.passes(locked, spec(tenant="t1"))
+        assert not flt.passes(locked, spec(tenant="t2"))
+
+    def test_maintenance_filter(self):
+        assert not MaintenanceFilter().passes(host(enabled=False), spec())
+
+    def test_num_instances_filter(self):
+        flt = NumInstancesFilter(max_instances=2)
+        assert flt.passes(host(num_instances=1), spec())
+        assert not flt.passes(host(num_instances=2), spec())
+        with pytest.raises(ValueError):
+            NumInstancesFilter(max_instances=0)
+
+    def test_retry_filter_excludes_failed_hosts(self):
+        flt = RetryFilter()
+        request = spec().excluding("h1")
+        assert not flt.passes(host(host_id="h1"), request)
+        assert flt.passes(host(host_id="h2"), request)
+
+
+def test_filter_all_returns_survivors():
+    hosts = [host(host_id="a", free_vcpus=2), host(host_id="b", free_vcpus=100)]
+    out = ComputeFilter().filter_all(hosts, spec(vcpus=4))
+    assert [h.host_id for h in out] == ["b"]
+
+
+def test_default_filter_chain_order_and_content():
+    names = [f.name for f in default_filters()]
+    assert names[0] == "RetryFilter"
+    assert "ComputeFilter" in names
+    assert "AvailabilityZoneFilter" in names
+    assert "AggregateInstanceExtraSpecsFilter" in names

@@ -1,0 +1,132 @@
+"""Tests for the forecasting models and the proactive weigher."""
+
+import numpy as np
+import pytest
+
+from repro.forecasting.models import (
+    EwmaForecaster,
+    HoltLinearForecaster,
+    SeasonalNaiveForecaster,
+    evaluate_forecaster,
+)
+from repro.forecasting.proactive import ForecastWeigher, forecast_host_load
+from repro.infrastructure.flavors import Flavor
+from repro.scheduler.hoststate import HostState
+from repro.scheduler.request import RequestSpec
+from repro.telemetry.store import MetricStore
+from repro.telemetry.timeseries import TimeSeries
+
+
+def _flat(level=40.0, n=100):
+    return TimeSeries.regular(0, 300, np.full(n, level))
+
+
+def _trending(start=10.0, slope=0.5, n=100):
+    return TimeSeries.regular(0, 300, start + slope * np.arange(n))
+
+
+class TestEwma:
+    def test_flat_series_forecast_flat(self):
+        forecast = EwmaForecaster().forecast(_flat(), horizon=5)
+        assert np.allclose(forecast.values, 40.0)
+        assert len(forecast) == 5
+
+    def test_timestamps_extend_grid(self):
+        forecast = EwmaForecaster().forecast(_flat(n=10), horizon=3)
+        assert list(forecast.timestamps) == [3000, 3300, 3600]
+
+    def test_recent_values_weighted_more(self):
+        series = TimeSeries.regular(0, 300, [0.0] * 50 + [100.0] * 50)
+        forecast = EwmaForecaster(alpha=0.5).forecast(series, 1)
+        assert forecast.values[0] > 90
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaForecaster(alpha=0)
+        with pytest.raises(ValueError):
+            EwmaForecaster().forecast(TimeSeries.empty(), 1)
+        with pytest.raises(ValueError):
+            EwmaForecaster().forecast(_flat(), 0)
+
+
+class TestHolt:
+    def test_captures_trend(self):
+        """§5.1: some nodes show consistently increasing demand — Holt
+        extrapolates that where EWMA lags behind."""
+        series = _trending()
+        holt = HoltLinearForecaster().forecast(series, 10)
+        ewma = EwmaForecaster().forecast(series, 10)
+        actual_next = 10.0 + 0.5 * (len(series) + 9)
+        assert abs(holt.values[-1] - actual_next) < abs(ewma.values[-1] - actual_next)
+
+    def test_flat_series_no_phantom_trend(self):
+        forecast = HoltLinearForecaster().forecast(_flat(), 10)
+        assert np.allclose(forecast.values, 40.0, atol=1.0)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            HoltLinearForecaster().forecast(TimeSeries.regular(0, 300, [1.0]), 1)
+
+
+class TestSeasonalNaive:
+    def test_repeats_daily_pattern(self):
+        hours = np.arange(0, 3 * 86_400, 3600.0)
+        values = 50 + 30 * np.sin(2 * np.pi * hours / 86_400)
+        series = TimeSeries(hours, values)
+        forecast = SeasonalNaiveForecaster(86_400).forecast(series, 6)
+        for t, v in zip(forecast.timestamps, forecast.values):
+            past = series.at_or_before(t - 86_400)
+            assert v == pytest.approx(past)
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError, match="shorter than one season"):
+            SeasonalNaiveForecaster(86_400).forecast(_flat(n=10), 1)
+
+
+class TestBacktest:
+    def test_seasonal_beats_ewma_on_diurnal_load(self):
+        hours = np.arange(0, 7 * 86_400, 1800.0)
+        values = 50 + 40 * np.sin(2 * np.pi * hours / 86_400)
+        series = TimeSeries(hours, values)
+        mae_seasonal = evaluate_forecaster(SeasonalNaiveForecaster(86_400), series, 24)
+        mae_ewma = evaluate_forecaster(EwmaForecaster(), series, 24)
+        assert mae_seasonal < mae_ewma
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_forecaster(EwmaForecaster(), _flat(n=5), 10)
+
+
+class TestProactive:
+    def _store(self):
+        store = MetricStore()
+        metric = "vrops_hostsystem_cpu_core_utilization_percentage"
+        # bb-hot trends up; bb-cool is flat low.
+        store.append_series(
+            metric,
+            {"hostsystem": "n1", "building_block": "bb-hot"},
+            _trending(start=40, slope=0.4, n=60),
+        )
+        store.append_series(
+            metric,
+            {"hostsystem": "n2", "building_block": "bb-cool"},
+            _flat(level=20, n=60),
+        )
+        return store
+
+    def test_forecast_host_load_ranks_trending_host_hot(self):
+        peaks = forecast_host_load(self._store(), horizon_steps=12)
+        assert peaks["bb-hot"] > peaks["bb-cool"]
+        assert peaks["bb-hot"] > 60  # extrapolated beyond the last sample
+
+    def test_weigher_prefers_cool_forecast(self):
+        peaks = {"bb-hot": 80.0, "bb-cool": 25.0}
+        weigher = ForecastWeigher(peaks)
+        spec = RequestSpec(vm_id="v", flavor=Flavor("f", 4, 16))
+        hot = HostState(host_id="bb-hot")
+        cool = HostState(host_id="bb-cool")
+        assert weigher.raw_weight(cool, spec) > weigher.raw_weight(hot, spec)
+
+    def test_forecast_values_clipped_to_percent(self):
+        peaks = forecast_host_load(self._store(), horizon_steps=500)
+        assert peaks["bb-hot"] <= 100.0

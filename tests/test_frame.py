@@ -1,0 +1,197 @@
+"""Unit and property tests for repro.frame.Frame."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frame import Frame
+
+
+@pytest.fixture
+def table() -> Frame:
+    return Frame(
+        {
+            "name": ["a", "b", "c", "d"],
+            "x": [1, 2, 3, 4],
+            "y": [4.0, 3.0, 2.0, 1.0],
+        }
+    )
+
+
+class TestConstruction:
+    def test_empty_frame(self):
+        frame = Frame()
+        assert len(frame) == 0
+        assert frame.names == []
+
+    def test_column_order_preserved(self, table):
+        assert table.names == ["name", "x", "y"]
+
+    def test_scalar_broadcast(self):
+        frame = Frame({"x": [1, 2, 3], "k": 7})
+        assert list(frame["k"]) == [7, 7, 7]
+
+    def test_scalar_without_length_raises(self):
+        with pytest.raises(ValueError, match="broadcast"):
+            Frame({"k": 7})
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length"):
+            Frame({"x": [1, 2], "y": [1, 2, 3]})
+
+    def test_2d_column_raises(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Frame({"x": np.zeros((2, 2))})
+
+    def test_from_records_missing_keys_become_none(self):
+        frame = Frame.from_records([{"a": 1}, {"a": 2, "b": "x"}])
+        assert frame["b"][0] is None
+        assert frame["b"][1] == "x"
+
+    def test_from_records_empty(self):
+        assert len(Frame.from_records([])) == 0
+
+    def test_string_columns_use_object_dtype(self, table):
+        assert table["name"].dtype == object
+
+
+class TestAccess:
+    def test_row_round_trip(self, table):
+        assert table.row(1) == {"name": "b", "x": 2, "y": 3.0}
+
+    def test_rows_iterates_all(self, table):
+        assert len(list(table.rows())) == 4
+
+    def test_shape(self, table):
+        assert table.shape == (4, 3)
+
+    def test_contains(self, table):
+        assert "x" in table
+        assert "zzz" not in table
+
+    def test_describe(self, table):
+        stats = table.describe("x")
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["min"] == 1
+        assert stats["max"] == 4
+
+
+class TestTransforms:
+    def test_with_column_replaces(self, table):
+        out = table.with_column("x", [10, 20, 30, 40])
+        assert list(out["x"]) == [10, 20, 30, 40]
+        assert list(table["x"]) == [1, 2, 3, 4]  # original untouched
+
+    def test_without(self, table):
+        out = table.without("y")
+        assert out.names == ["name", "x"]
+
+    def test_without_missing_raises(self, table):
+        with pytest.raises(KeyError):
+            table.without("nope")
+
+    def test_select_reorders(self, table):
+        assert table.select(["y", "name"]).names == ["y", "name"]
+
+    def test_rename(self, table):
+        assert "xx" in table.rename({"x": "xx"})
+
+    def test_filter(self, table):
+        out = table.filter(np.asarray(table["x"]) > 2)
+        assert list(out["name"]) == ["c", "d"]
+
+    def test_filter_bad_mask_length(self, table):
+        with pytest.raises(ValueError, match="mask length"):
+            table.filter([True])
+
+    def test_where(self, table):
+        out = table.where(lambda r: r["y"] < 3)
+        assert list(out["name"]) == ["c", "d"]
+
+    def test_sort_ascending_and_reverse(self, table):
+        assert list(table.sort("y")["name"]) == ["d", "c", "b", "a"]
+        assert list(table.sort("y", reverse=True)["name"]) == ["a", "b", "c", "d"]
+
+    def test_sort_multi_key(self):
+        frame = Frame({"g": ["b", "a", "b", "a"], "v": [1, 2, 0, 1]})
+        out = frame.sort(["g", "v"])
+        assert list(out["g"]) == ["a", "a", "b", "b"]
+        assert list(out["v"]) == [1, 2, 0, 1]
+
+    def test_concat(self, table):
+        both = table.concat(table)
+        assert len(both) == 8
+
+    def test_concat_mismatched_columns_raises(self, table):
+        with pytest.raises(ValueError, match="column mismatch"):
+            table.concat(Frame({"z": [1]}))
+
+    def test_concat_with_empty(self, table):
+        assert table.concat(Frame()) == table
+
+    def test_unique(self):
+        frame = Frame({"g": ["b", "a", "b"]})
+        assert list(frame.unique("g")) == ["a", "b"]
+
+    def test_head(self, table):
+        assert len(table.head(2)) == 2
+        assert len(table.head(100)) == 4
+
+
+class TestJoin:
+    def test_inner_join(self):
+        left = Frame({"k": [1, 2, 3], "a": [10, 20, 30]})
+        right = Frame({"k": [2, 3, 4], "b": [200, 300, 400]})
+        out = left.join(right, on="k")
+        assert list(out["k"]) == [2, 3]
+        assert list(out["b"]) == [200, 300]
+
+    def test_left_join_fills_none(self):
+        left = Frame({"k": [1, 2], "a": [10, 20]})
+        right = Frame({"k": [2], "b": [200]})
+        out = left.join(right, on="k", how="left")
+        assert out["b"][0] is None
+        assert out["b"][1] == 200
+
+    def test_join_duplicate_right_keys_keep_first(self):
+        left = Frame({"k": [1], "a": [1]})
+        right = Frame({"k": [1, 1], "b": [10, 20]})
+        out = left.join(right, on="k")
+        assert out["b"][0] == 10
+
+    def test_join_name_collision_suffixed(self):
+        left = Frame({"k": [1], "v": [1]})
+        right = Frame({"k": [1], "v": [9]})
+        out = left.join(right, on="k")
+        assert list(out["v_right"]) == [9]
+
+    def test_unsupported_join_raises(self):
+        with pytest.raises(ValueError, match="join type"):
+            Frame({"k": [1]}).join(Frame({"k": [1]}), on="k", how="outer")
+
+
+@given(
+    values=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=60
+    )
+)
+def test_property_filter_take_consistency(values):
+    """Filtering with a mask equals taking the mask's true indices."""
+    frame = Frame({"v": np.asarray(values, dtype=float)})
+    mask = np.asarray(values, dtype=float) > 0
+    by_filter = frame.filter(mask)
+    by_take = frame.take(np.nonzero(mask)[0])
+    assert by_filter == by_take
+
+
+@given(
+    values=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_sort_is_ordered_permutation(values):
+    frame = Frame({"v": np.asarray(values, dtype=float)})
+    out = frame.sort("v")
+    assert sorted(values) == pytest.approx(list(out["v"]))

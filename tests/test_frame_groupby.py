@@ -1,0 +1,87 @@
+"""Tests for Frame.groupby aggregation."""
+
+import pytest
+
+from repro.frame import Frame
+
+
+@pytest.fixture
+def table() -> Frame:
+    return Frame(
+        {
+            "g": ["a", "b", "a", "b", "a"],
+            "h": [1, 1, 2, 2, 2],
+            "v": [1.0, 2.0, 3.0, 4.0, 5.0],
+        }
+    )
+
+
+def test_group_count(table):
+    out = table.groupby("g").size()
+    assert dict(zip(out["g"], out["count"])) == {"a": 3, "b": 2}
+
+
+def test_agg_string_spec(table):
+    out = table.groupby("g").agg(total="v:sum", top="v:max")
+    by_g = {r["g"]: r for r in out.rows()}
+    assert by_g["a"]["total"] == 9.0
+    assert by_g["b"]["top"] == 4.0
+
+
+def test_agg_tuple_spec(table):
+    out = table.groupby("g").agg(m=("v", "mean"))
+    by_g = dict(zip(out["g"], out["m"]))
+    assert by_g["a"] == pytest.approx(3.0)
+
+
+def test_agg_callable_spec(table):
+    out = table.groupby("g").agg(spread=lambda sub: sub["v"].max() - sub["v"].min())
+    by_g = dict(zip(out["g"], out["spread"]))
+    assert by_g["a"] == 4.0
+
+
+def test_agg_unknown_aggregation_raises(table):
+    with pytest.raises(ValueError, match="unknown aggregation"):
+        table.groupby("g").agg(x="v:bogus")
+
+
+def test_agg_bad_spec_raises(table):
+    with pytest.raises(ValueError, match="column:agg"):
+        table.groupby("g").agg(x="v")
+
+
+def test_multi_key_grouping(table):
+    grouped = table.groupby(["g", "h"])
+    assert len(grouped) == 4
+    out = grouped.agg(n="v:count")
+    key_counts = {(r["g"], r["h"]): r["n"] for r in out.rows()}
+    assert key_counts[("a", 2)] == 2
+
+
+def test_groups_returns_subframes(table):
+    groups = table.groupby("g").groups()
+    assert len(groups[("a",)]) == 3
+    assert list(groups[("b",)]["v"]) == [2.0, 4.0]
+
+
+def test_apply(table):
+    out = table.groupby("g").apply(lambda sub: {"n2": len(sub) * 2})
+    assert dict(zip(out["g"], out["n2"])) == {"a": 6, "b": 4}
+
+
+def test_agg_output_sorted_by_key(table):
+    out = table.groupby("g").agg(n="v:count")
+    assert list(out["g"]) == ["a", "b"]
+
+
+def test_aggregations_first_last(table):
+    out = table.groupby("g").agg(first="v:first", last="v:last")
+    by_g = {r["g"]: r for r in out.rows()}
+    assert by_g["a"]["first"] == 1.0
+    assert by_g["a"]["last"] == 5.0
+
+
+def test_p95_and_median(table):
+    out = table.groupby("h").agg(med="v:median", p95="v:p95")
+    by_h = {r["h"]: r for r in out.rows()}
+    assert by_h[2]["med"] == 4.0

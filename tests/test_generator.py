@@ -1,0 +1,165 @@
+"""Tests for the end-to-end dataset generator (shared small dataset)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import GeneratorConfig, generate_dataset
+from repro.telemetry.metrics import METRIC_CATALOG
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        GeneratorConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scale": 0},
+            {"days": 0},
+            {"sampling_seconds": 10},
+            {"vms_per_node": 0},
+            {"churn_fraction": 1.5},
+            {"hotspot_fraction": 0.9},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneratorConfig(**kwargs)
+
+
+class TestGeneratedDataset:
+    def test_inventories_populated(self, small_dataset):
+        assert small_dataset.node_count > 20
+        assert small_dataset.vm_count > 500
+        assert len(small_dataset.events) > 0
+
+    def test_all_table4_metrics_present(self, small_dataset):
+        assert set(small_dataset.store.metrics()) == {m.name for m in METRIC_CATALOG}
+
+    def test_every_node_has_cpu_series(self, small_dataset):
+        for node_id in small_dataset.nodes["node_id"]:
+            series = small_dataset.node_series(
+                "vrops_hostsystem_cpu_core_utilization_percentage", str(node_id)
+            )
+            assert len(series) > 0
+
+    def test_node_series_span_window(self, small_dataset, small_config):
+        node_id = str(small_dataset.nodes["node_id"][0])
+        series = small_dataset.node_series(
+            "vrops_hostsystem_cpu_core_utilization_percentage", node_id
+        )
+        assert series.timestamps[0] == small_config.window_start
+        assert series.timestamps[-1] < small_config.window_end
+
+    def test_percent_metrics_bounded(self, small_dataset):
+        for metric in (
+            "vrops_hostsystem_cpu_core_utilization_percentage",
+            "vrops_hostsystem_memory_usage_percentage",
+        ):
+            for _labels, series in small_dataset.store.select(metric):
+                assert series.values.min() >= 0.0
+                assert series.values.max() <= 100.0
+
+    def test_network_below_nic_capacity(self, small_dataset):
+        """§5.3: network load stays notably below the 200 Gbps NICs."""
+        for metric in (
+            "vrops_hostsystem_network_bytes_tx_kbps",
+            "vrops_hostsystem_network_bytes_rx_kbps",
+        ):
+            for _labels, series in small_dataset.store.select(metric):
+                assert series.values.max() <= 200e6
+
+    def test_vm_placement_recorded(self, small_dataset):
+        node_ids = {str(n) for n in small_dataset.nodes["node_id"]}
+        for node in small_dataset.vms["node_id"]:
+            assert str(node) in node_ids
+
+    def test_hana_vms_on_hana_bbs(self, small_dataset):
+        vms = small_dataset.vms
+        for i in range(len(vms)):
+            if str(vms["family"][i]) == "hana":
+                assert "hana" in str(vms["bb_id"][i])
+
+    def test_all_event_kinds_present(self, small_dataset):
+        """§4: creation, migration, resize, and deletion events."""
+        kinds = {str(e) for e in small_dataset.events.unique("event")}
+        assert kinds == {"create", "migrate", "resize", "delete"}
+
+    def test_resize_events_move_to_larger_flavors(self, small_dataset):
+        from repro.infrastructure.flavors import default_catalog
+
+        catalog = default_catalog()
+        resizes = small_dataset.events.filter(
+            np.asarray([str(e) == "resize" for e in small_dataset.events["event"]])
+        )
+        assert len(resizes) > 0
+        for row in resizes.rows():
+            old = catalog.get(str(row["source"]))
+            new = catalog.get(str(row["target"]))
+            assert new.vcpus > old.vcpus
+            assert new.family == old.family
+
+    def test_events_sorted_by_time(self, small_dataset):
+        times = np.asarray(small_dataset.events["time"], dtype=float)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_events_reference_known_vms(self, small_dataset):
+        vm_ids = {str(v) for v in small_dataset.vms["vm_id"]}
+        for vm_id in small_dataset.events["vm_id"]:
+            assert str(vm_id) in vm_ids
+
+    def test_meta_records_provenance(self, small_dataset, small_config):
+        assert small_dataset.meta["seed"] == small_config.seed
+        assert small_dataset.meta["sampling_seconds"] == small_config.sampling_seconds
+        # A handful of 12 TB requests may not fit the scaled-down region.
+        assert small_dataset.meta["unplaced_vms"] <= 0.005 * small_dataset.vm_count
+
+    def test_hotspots_recorded_and_marked(self, small_dataset):
+        hotspots = small_dataset.meta["hotspot_nodes"]
+        assert len(hotspots) >= 1
+        flagged = {
+            str(n)
+            for n, h in zip(
+                small_dataset.nodes["node_id"], small_dataset.nodes["hotspot"]
+            )
+            if h
+        }
+        assert set(hotspots) == flagged
+
+    def test_instances_total_tracks_population(self, small_dataset):
+        series = small_dataset.store.query(
+            "openstack_compute_instances_total",
+            {"region": "region-9"},
+        )
+        assert len(series) == 30  # daily
+        # Never more instances than the inventory has VMs.
+        assert series.values.max() <= small_dataset.vm_count
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        config = GeneratorConfig(
+            scale=0.01, sampling_seconds=14_400, vm_series_limit=5, days=5
+        )
+        a = generate_dataset(config)
+        b = generate_dataset(config)
+        assert a.vm_count == b.vm_count
+        assert list(a.vms["node_id"]) == list(b.vms["node_id"])
+        series_a = a.node_series(
+            "vrops_hostsystem_cpu_core_utilization_percentage",
+            str(a.nodes["node_id"][0]),
+        )
+        series_b = b.node_series(
+            "vrops_hostsystem_cpu_core_utilization_percentage",
+            str(b.nodes["node_id"][0]),
+        )
+        np.testing.assert_array_equal(series_a.values, series_b.values)
+
+    def test_different_seed_differs(self):
+        base = GeneratorConfig(scale=0.01, sampling_seconds=14_400, days=5)
+        other = GeneratorConfig(
+            scale=0.01, sampling_seconds=14_400, days=5, seed=base.seed + 1
+        )
+        a = generate_dataset(base)
+        b = generate_dataset(other)
+        assert list(a.vms["flavor"]) != list(b.vms["flavor"])

@@ -1,0 +1,68 @@
+"""Tests for the §7 guidance analytics: overcommit and right-sizing."""
+
+import pytest
+
+from repro.core.guidance import (
+    assess_overcommit,
+    rightsizing_recommendations,
+    rightsizing_summary,
+)
+
+
+class TestOvercommit:
+    def test_region_assessment(self, small_dataset):
+        assessment = assess_overcommit(small_dataset)
+        assert assessment.scope == "region"
+        assert assessment.current_ratio > 0
+        assert assessment.physical_cores > 0
+        assert assessment.peak_demand_cores > 0
+
+    def test_overprovisioning_leaves_headroom(self, small_dataset):
+        """§7: CPU is significantly overprovisioned — observed demand would
+        support a higher overcommit factor than allocation suggests."""
+        assessment = assess_overcommit(small_dataset)
+        assert assessment.supportable_ratio > assessment.current_ratio
+        assert assessment.headroom > 1.0
+
+    def test_p95_ratio_at_least_peak_ratio(self, small_dataset):
+        assessment = assess_overcommit(small_dataset)
+        assert assessment.supportable_ratio_p95 >= assessment.supportable_ratio
+
+    def test_bb_scoped(self, small_dataset):
+        bb = small_dataset.building_blocks()[0]
+        assessment = assess_overcommit(small_dataset, bb_id=bb)
+        assert assessment.scope == bb
+
+    def test_unknown_scope_raises(self, small_dataset):
+        with pytest.raises(ValueError):
+            assess_overcommit(small_dataset, bb_id="ghost")
+
+
+class TestRightsizing:
+    def test_only_underutilized_vms_targeted(self, small_dataset):
+        for rec in rightsizing_recommendations(small_dataset):
+            assert rec.avg_utilization < 0.70
+            assert rec.recommended < rec.current
+            assert rec.saving_fraction >= 0.25
+
+    def test_recommendation_hits_target_band(self, small_dataset):
+        """Recommended sizes would land utilisation at or below optimal."""
+        for rec in rightsizing_recommendations(small_dataset)[:200]:
+            new_util = rec.current * rec.avg_utilization / rec.recommended
+            assert new_util <= 0.85 + 1e-9
+
+    def test_sorted_by_saving(self, small_dataset):
+        recs = rightsizing_recommendations(small_dataset)
+        savings = [r.saving_fraction for r in recs]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_cpu_reclaim_larger_than_memory(self, small_dataset):
+        """§7: CPU is far more overprovisioned than memory."""
+        summary = rightsizing_summary(small_dataset)
+        rows = {str(r["resource"]): r for r in summary.rows()}
+        assert rows["cpu"]["vms_affected"] > rows["memory"]["vms_affected"]
+        assert rows["cpu"]["reclaimable_fraction"] > rows["memory"]["reclaimable_fraction"]
+
+    def test_invalid_target_raises(self, small_dataset):
+        with pytest.raises(ValueError):
+            rightsizing_recommendations(small_dataset, target_utilization=0.0)

@@ -1,0 +1,95 @@
+"""Tests for the free-resource heatmaps (Figs 5-7, 10-13)."""
+
+import numpy as np
+import pytest
+
+from repro.core.heatmaps import free_resource_heatmap
+
+
+class TestShapes:
+    def test_node_level_dimensions(self, small_dataset):
+        dc = small_dataset.datacenters()[0]
+        heatmap = free_resource_heatmap(small_dataset, "cpu", dc_id=dc)
+        n_nodes = len(small_dataset.nodes_in(dc_id=dc))
+        assert heatmap.shape == (30, n_nodes)
+        assert len(heatmap.columns) == n_nodes
+        assert heatmap.level == "node"
+
+    def test_bb_level_aggregation(self, small_dataset):
+        dc = small_dataset.datacenters()[0]
+        heatmap = free_resource_heatmap(
+            small_dataset, "cpu", dc_id=dc, level="building_block"
+        )
+        dc_bbs = {
+            str(b) for b in small_dataset.nodes_in(dc_id=dc)["bb_id"]
+        }
+        assert set(heatmap.columns) == dc_bbs
+
+    def test_bb_scope(self, small_dataset):
+        bb = small_dataset.building_blocks()[0]
+        heatmap = free_resource_heatmap(small_dataset, "cpu", bb_id=bb)
+        assert len(heatmap.columns) == len(small_dataset.nodes_in(bb_id=bb))
+
+    def test_unknown_resource_raises(self, small_dataset):
+        with pytest.raises(ValueError, match="unknown resource"):
+            free_resource_heatmap(small_dataset, "gpu")
+
+    def test_unknown_scope_raises(self, small_dataset):
+        with pytest.raises(ValueError, match="no nodes"):
+            free_resource_heatmap(small_dataset, "cpu", dc_id="ghost")
+
+    def test_bad_level_raises(self, small_dataset):
+        with pytest.raises(ValueError, match="level"):
+            free_resource_heatmap(small_dataset, "cpu", level="rack")
+
+
+class TestSemantics:
+    def test_columns_sorted_most_free_first(self, small_dataset):
+        """Paper convention: compute hosts sorted left to right from most
+        to least free resources."""
+        heatmap = free_resource_heatmap(small_dataset, "cpu")
+        means = heatmap.column_means()
+        finite = means[np.isfinite(means)]
+        assert np.all(np.diff(finite) <= 1e-9)
+
+    def test_values_are_percentages(self, small_dataset):
+        for resource in ("cpu", "memory", "network_tx", "storage"):
+            heatmap = free_resource_heatmap(small_dataset, resource)
+            finite = heatmap.matrix[np.isfinite(heatmap.matrix)]
+            assert finite.min() >= 0.0
+            assert finite.max() <= 100.0
+
+    def test_cpu_heatmap_shows_wide_spread(self, small_dataset):
+        """Fig 5: some nodes <20% free while others exceed 90% free."""
+        heatmap = free_resource_heatmap(small_dataset, "cpu")
+        assert np.nanmin(heatmap.matrix) < 25.0
+        assert np.nanmax(heatmap.matrix) > 90.0
+        assert heatmap.spread() > 40.0
+
+    def test_network_heatmaps_mostly_free(self, small_dataset):
+        """Figs 11-12: network load notably below NIC capacity."""
+        for resource in ("network_tx", "network_rx"):
+            heatmap = free_resource_heatmap(small_dataset, resource)
+            assert np.nanmin(heatmap.column_means()) > 90.0
+
+    def test_memory_heatmap_bimodal(self, small_dataset):
+        """Fig 10: nearly-full HANA hosts next to mostly-free ones."""
+        heatmap = free_resource_heatmap(small_dataset, "memory")
+        means = heatmap.column_means()
+        assert np.mean(means < 25.0) >= 0.05
+        assert np.mean(means > 60.0) >= 0.30
+
+    def test_storage_heatmap_uneven(self, small_dataset):
+        """Fig 13 shape at small scale: some hosts >90% free, a few using
+        more than 30%, most in between (exact shares are asserted in the
+        larger-scale benchmark)."""
+        heatmap = free_resource_heatmap(small_dataset, "storage")
+        means = heatmap.column_means()
+        assert np.mean(means > 90.0) == pytest.approx(0.18, abs=0.15)
+        assert np.mean(means < 70.0) == pytest.approx(0.07, abs=0.10)
+        mid = np.mean((means >= 70.0) & (means <= 90.0))
+        assert mid > 0.4
+
+    def test_spread_empty_safe(self, small_dataset):
+        heatmap = free_resource_heatmap(small_dataset, "cpu")
+        assert heatmap.spread() >= 0.0

@@ -1,0 +1,114 @@
+"""Tests for the infrastructure hierarchy and allocation bookkeeping."""
+
+import pytest
+
+from repro.infrastructure.capacity import Capacity, OvercommitPolicy
+from repro.infrastructure.flavors import Flavor
+from repro.infrastructure.vm import VM
+from tests.conftest import make_bb, make_node
+
+
+def _vm(vm_id="v1", vcpus=4, ram_gib=16) -> VM:
+    return VM(vm_id=vm_id, flavor=Flavor(f"f-{vm_id}", vcpus=vcpus, ram_gib=ram_gib))
+
+
+class TestComputeNode:
+    def test_allocation_accumulates(self):
+        node = make_node()
+        node.add_vm(_vm("a", vcpus=2))
+        node.add_vm(_vm("b", vcpus=3))
+        assert node.allocated().vcpus == 5
+
+    def test_duplicate_vm_rejected(self):
+        node = make_node()
+        node.add_vm(_vm("a"))
+        with pytest.raises(ValueError, match="already"):
+            node.add_vm(_vm("a"))
+
+    def test_remove_unknown_vm_raises(self):
+        with pytest.raises(KeyError):
+            make_node().remove_vm("ghost")
+
+    def test_remove_clears_node_id(self):
+        node = make_node()
+        vm = _vm("a")
+        node.add_vm(vm)
+        assert vm.node_id == node.node_id
+        out = node.remove_vm("a")
+        assert out.node_id is None
+
+    def test_free_respects_overcommit(self):
+        node = make_node(vcpus=10)
+        policy = OvercommitPolicy(cpu_ratio=4.0)
+        assert node.free(policy).vcpus == 40
+        node.add_vm(_vm("a", vcpus=30))
+        assert node.free(policy).vcpus == 10
+
+    def test_can_host_false_in_maintenance(self):
+        node = make_node()
+        node.maintenance = True
+        assert not node.can_host(_vm("a"), OvercommitPolicy())
+
+    def test_can_host_checks_all_dimensions(self):
+        node = make_node(vcpus=64, memory_gib=8)
+        policy = OvercommitPolicy(cpu_ratio=4.0, memory_ratio=1.0)
+        assert not node.can_host(_vm("a", vcpus=1, ram_gib=16), policy)
+
+
+class TestBuildingBlock:
+    def test_add_node_stamps_bb_id(self):
+        bb = make_bb("bb1", nodes=2)
+        for node in bb.iter_nodes():
+            assert node.building_block == "bb1"
+
+    def test_duplicate_node_rejected(self):
+        bb = make_bb("bb1", nodes=1)
+        with pytest.raises(ValueError, match="duplicate"):
+            bb.add_node(make_node("bb1-n0"))
+
+    def test_aggregate_capacities(self):
+        bb = make_bb("bb1", nodes=3, vcpus=64)
+        assert bb.physical().vcpus == 192
+        assert bb.free().vcpus == 192 * 4.0  # default cpu_ratio
+
+    def test_vm_count_spans_nodes(self):
+        bb = make_bb("bb1", nodes=2)
+        nodes = list(bb.iter_nodes())
+        nodes[0].add_vm(_vm("a"))
+        nodes[1].add_vm(_vm("b"))
+        assert bb.vm_count == 2
+        assert {vm.vm_id for vm in bb.vms()} == {"a", "b"}
+
+
+class TestRegionWiring:
+    def test_ids_propagate_down(self, tiny_region):
+        for node in tiny_region.iter_nodes():
+            assert node.datacenter
+            assert node.az
+            assert node.building_block
+
+    def test_node_and_vm_counts(self, tiny_region):
+        assert tiny_region.node_count == 12
+        assert tiny_region.vm_count == 0
+
+    def test_find_node(self, tiny_region):
+        node = next(tiny_region.iter_nodes())
+        assert tiny_region.find_node(node.node_id) is node
+        with pytest.raises(KeyError):
+            tiny_region.find_node("ghost")
+
+    def test_find_building_block(self, tiny_region):
+        assert tiny_region.find_building_block("dc1-hana-00").policy == "pack"
+        with pytest.raises(KeyError):
+            tiny_region.find_building_block("ghost")
+
+    def test_iter_vms(self, tiny_region):
+        node = next(tiny_region.iter_nodes())
+        node.add_vm(_vm("a"))
+        assert [vm.vm_id for vm in tiny_region.iter_vms()] == ["a"]
+
+    def test_duplicate_az_rejected(self, tiny_region):
+        from repro.infrastructure.hierarchy import AvailabilityZone
+
+        with pytest.raises(ValueError, match="duplicate"):
+            tiny_region.add_az(AvailabilityZone(az_id="az1"))

@@ -1,0 +1,67 @@
+"""Tests for imbalance and fragmentation scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.imbalance import (
+    bb_imbalance_report,
+    fragmentation_score,
+    inter_bb_imbalance,
+    intra_bb_spread,
+)
+
+
+def test_intra_bb_spread_fields(small_dataset):
+    bb = small_dataset.building_blocks()[0]
+    stats = intra_bb_spread(small_dataset, bb)
+    assert set(stats) == {
+        "min_used_pct", "max_used_pct", "mean_used_pct", "spread_pct", "node_count",
+    }
+    assert stats["min_used_pct"] <= stats["mean_used_pct"] <= stats["max_used_pct"]
+    assert stats["spread_pct"] == pytest.approx(
+        stats["max_used_pct"] - stats["min_used_pct"]
+    )
+
+
+def test_some_bb_shows_significant_intra_spread(small_dataset):
+    """Fig 7: nodes within one BB differ strongly in utilisation."""
+    report = bb_imbalance_report(small_dataset)
+    assert float(np.max(report["spread_pct"])) > 20.0
+
+
+def test_report_covers_all_bbs(small_dataset):
+    report = bb_imbalance_report(small_dataset)
+    assert set(str(b) for b in report["bb_id"]) == set(small_dataset.building_blocks())
+
+
+def test_report_sorted_by_spread(small_dataset):
+    report = bb_imbalance_report(small_dataset)
+    spreads = np.asarray(report["spread_pct"], dtype=float)
+    assert np.all(np.diff(spreads) <= 1e-9)
+
+
+def test_report_dc_scoped(small_dataset):
+    dc = small_dataset.datacenters()[0]
+    report = bb_imbalance_report(small_dataset, dc_id=dc)
+    dc_bbs = {str(b) for b in small_dataset.nodes_in(dc_id=dc)["bb_id"]}
+    assert set(str(b) for b in report["bb_id"]) == dc_bbs
+
+
+def test_inter_bb_imbalance_positive(small_dataset):
+    """Fig 6: building blocks differ in mean utilisation."""
+    assert inter_bb_imbalance(small_dataset) > 1.0
+
+
+def test_unknown_bb_raises(small_dataset):
+    with pytest.raises(ValueError):
+        intra_bb_spread(small_dataset, "ghost-bb")
+
+
+def test_fragmentation_score_bounds(small_dataset):
+    score = fragmentation_score(small_dataset)
+    assert 0.0 <= score <= 1.0
+
+
+def test_fragmentation_positive_with_hotspots(small_dataset):
+    """Hot nodes coexist with mostly-free ones → stranded free capacity."""
+    assert fragmentation_score(small_dataset) > 0.1

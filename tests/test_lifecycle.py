@@ -1,0 +1,61 @@
+"""Tests for lifecycle-event analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.lifecycle import (
+    churn_ratio,
+    daily_event_counts,
+    lifecycle_summary,
+    migration_report,
+    population_trajectory,
+)
+
+
+def test_summary_totals_match_events(small_dataset):
+    summary = lifecycle_summary(small_dataset)
+    kinds = [str(k) for k in small_dataset.events["event"]]
+    assert summary.creates == kinds.count("create")
+    assert summary.deletes == kinds.count("delete")
+    assert summary.migrations == kinds.count("migrate")
+    assert summary.resizes == kinds.count("resize")
+    assert summary.window_days == pytest.approx(30.0)
+
+
+def test_rates_positive(small_dataset):
+    summary = lifecycle_summary(small_dataset)
+    assert summary.daily_arrival_rate > 0
+    assert summary.daily_departure_rate > 0
+    assert summary.migrations_per_day > 0
+
+
+def test_daily_counts_sum_to_totals(small_dataset):
+    daily = daily_event_counts(small_dataset)
+    summary = lifecycle_summary(small_dataset)
+    assert len(daily) == 30
+    assert int(np.sum(daily["create"])) == summary.creates
+    assert int(np.sum(daily["migrate"])) == summary.migrations
+
+
+def test_population_trajectory_stable(small_dataset):
+    """Long-lived enterprise population: no collapse or explosion."""
+    trajectory = population_trajectory(small_dataset)
+    assert len(trajectory) == 30
+    assert trajectory.min() > 0.7 * trajectory.max()
+
+
+def test_churn_ratio_low(small_dataset):
+    """Unlike the batch traces of Table 3, churn is a small fraction of
+    the standing population over 30 days."""
+    ratio = churn_ratio(small_dataset)
+    assert 0.0 < ratio < 0.5
+
+
+def test_migration_report_consistent(small_dataset):
+    report = migration_report(small_dataset)
+    assert len(report) > 0
+    counts = np.asarray(report["migrations"], dtype=int)
+    assert np.all(counts >= 1)
+    assert np.all(np.diff(counts) <= 0)  # sorted descending
+    summary = lifecycle_summary(small_dataset)
+    assert int(counts.sum()) == summary.migrations

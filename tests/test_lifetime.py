@@ -1,0 +1,63 @@
+"""Tests for the lifetime mixture models (Fig 15 shape)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.lifetime import (
+    DAY,
+    HOUR,
+    LIFETIME_MODELS,
+    LifetimeModel,
+    YEAR,
+    sample_lifetime,
+)
+
+
+@pytest.fixture(scope="module")
+def big_rng():
+    return np.random.default_rng(11)
+
+
+def test_weights_must_sum_to_one():
+    with pytest.raises(ValueError, match="sum to 1"):
+        LifetimeModel(ephemeral=(0.5, HOUR, 1.0), project=(0.5, DAY, 1.0),
+                      persistent=(0.5, YEAR, 1.0))
+
+
+def test_floor_at_one_minute(big_rng):
+    model = LifetimeModel(
+        ephemeral=(1.0, 61.0, 2.0), project=(0.0, DAY, 1.0), persistent=(0.0, YEAR, 1.0)
+    )
+    samples = model.sample(big_rng, 500)
+    assert samples.min() >= 60.0
+
+
+def test_span_minutes_to_years(big_rng):
+    """Fig 15: observed lifetimes range from few minutes to multiple years."""
+    samples = LIFETIME_MODELS["general"].sample(big_rng, 20_000)
+    assert samples.min() < HOUR
+    assert samples.max() > 2 * YEAR
+
+
+def test_hana_skews_long(big_rng):
+    hana = LIFETIME_MODELS["hana_db"].sample(big_rng, 5000)
+    cicd = LIFETIME_MODELS["cicd"].sample(big_rng, 5000)
+    assert np.median(hana) > 10 * np.median(cicd)
+
+
+def test_every_class_has_short_and_long_mass(big_rng):
+    """Fig 15: significant variation *within* each category — even HANA has
+    short-lived instances and even CI/CD has year-long ones."""
+    for name, model in LIFETIME_MODELS.items():
+        samples = model.sample(big_rng, 20_000)
+        assert np.mean(samples < DAY) > 0.01, name
+        assert np.mean(samples > 30 * DAY) > 0.05, name
+
+
+def test_sample_lifetime_unknown_profile_falls_back(big_rng):
+    value = sample_lifetime("no-such-profile", big_rng)
+    assert value >= 60.0
+
+
+def test_sample_lifetime_returns_scalar(big_rng):
+    assert isinstance(sample_lifetime("hana_db", big_rng), float)

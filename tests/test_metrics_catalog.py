@@ -1,0 +1,73 @@
+"""Tests for the Table 4 metric catalogue."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    METRIC_CATALOG,
+    NOVA_METRICS,
+    VROPS_METRICS,
+    get_metric,
+    metric_table,
+)
+
+#: The exact metric names of Table 4.
+PAPER_METRIC_NAMES = {
+    "vrops_hostsystem_cpu_core_utilization_percentage",
+    "vrops_hostsystem_cpu_contention_percentage",
+    "vrops_hostsystem_cpu_ready_milliseconds",
+    "vrops_hostsystem_memory_usage_percentage",
+    "vrops_hostsystem_network_bytes_tx_kbps",
+    "vrops_hostsystem_network_bytes_rx_kbps",
+    "vrops_hostsystem_diskspace_usage_gigabytes",
+    "vrops_virtualmachine_cpu_usage_ratio",
+    "vrops_virtualmachine_memory_consumed_ratio",
+    "openstack_compute_nodes_vcpus_gauge",
+    "openstack_compute_nodes_vcpus_used_gauge",
+    "openstack_compute_nodes_memory_mb_gauge",
+    "openstack_compute_nodes_memory_mb_used_gauge",
+    "openstack_compute_instances_total",
+}
+
+
+def test_catalog_matches_table4_exactly():
+    assert {m.name for m in METRIC_CATALOG} == PAPER_METRIC_NAMES
+
+
+def test_source_split():
+    assert all(m.name.startswith("vrops_") for m in VROPS_METRICS)
+    assert all(m.name.startswith("openstack_") for m in NOVA_METRICS)
+    assert len(VROPS_METRICS) + len(NOVA_METRICS) == len(METRIC_CATALOG)
+
+
+def test_sampling_within_paper_bounds():
+    """§4: sampling granularity ranges from 30 to 300 seconds."""
+    for metric in METRIC_CATALOG:
+        assert 30 <= metric.sampling_seconds <= 300
+
+
+def test_vm_metrics_are_ratios():
+    for name in (
+        "vrops_virtualmachine_cpu_usage_ratio",
+        "vrops_virtualmachine_memory_consumed_ratio",
+    ):
+        metric = get_metric(name)
+        assert metric.subsystem == "vm"
+        assert metric.unit == "ratio"
+
+
+def test_get_metric_unknown_raises():
+    with pytest.raises(KeyError, match="unknown metric"):
+        get_metric("nope")
+
+
+def test_metric_table_rows():
+    rows = metric_table()
+    assert len(rows) == len(METRIC_CATALOG)
+    assert all(set(r) >= {"metric", "subsystem", "resource", "description"} for r in rows)
+
+
+def test_resources_covered():
+    """The catalogue spans CPU, memory, network, storage, and inventory."""
+    assert {m.resource for m in METRIC_CATALOG} == {
+        "cpu", "memory", "network", "storage", "inventory",
+    }

@@ -1,0 +1,80 @@
+"""Tests for the pre-copy live-migration model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.infrastructure.flavors import Flavor
+from repro.migration.precopy import PrecopyModel
+
+
+@pytest.fixture
+def model() -> PrecopyModel:
+    return PrecopyModel(bandwidth_mbps=10_000, downtime_target_mb=512)
+
+
+class TestEstimate:
+    def test_idle_vm_single_round(self, model):
+        estimate = model.estimate(memory_mb=400, dirty_rate_mbps=0)
+        assert estimate.rounds == 0  # below downtime target from the start
+        assert estimate.converged
+        assert estimate.downtime_seconds == pytest.approx(400 / 10_000)
+
+    def test_quiet_vm_converges_fast(self, model):
+        estimate = model.estimate(memory_mb=64_000, dirty_rate_mbps=100)
+        assert estimate.converged
+        assert estimate.rounds <= 3
+        assert estimate.downtime_seconds < 0.1
+
+    def test_dirty_vm_needs_more_rounds_and_transfer(self, model):
+        quiet = model.estimate(64_000, dirty_rate_mbps=100)
+        busy = model.estimate(64_000, dirty_rate_mbps=5_000)
+        assert busy.rounds >= quiet.rounds
+        assert busy.transferred_mb > quiet.transferred_mb
+        assert busy.total_seconds > quiet.total_seconds
+
+    def test_nonconvergent_when_dirty_rate_exceeds_bandwidth(self, model):
+        estimate = model.estimate(64_000, dirty_rate_mbps=20_000)
+        assert not estimate.converged
+
+    def test_round_cap_forces_stop_and_copy(self):
+        model = PrecopyModel(bandwidth_mbps=1000, downtime_target_mb=1, max_rounds=2)
+        estimate = model.estimate(memory_mb=10_000, dirty_rate_mbps=900)
+        assert not estimate.converged
+        assert estimate.rounds == 2
+
+    def test_invalid_inputs(self, model):
+        with pytest.raises(ValueError):
+            PrecopyModel(bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            model.estimate(-1, 0)
+
+
+class TestFlavorInterface:
+    def test_memory_hot_hana_vm_is_heavy(self, model):
+        """§3.2: memory-intensive VMs with high write rates should not move."""
+        hana = Flavor("h", vcpus=96, ram_gib=2048, family="hana")
+        assert model.is_heavy(hana, memory_ratio=0.95, write_intensity=0.1)
+
+    def test_small_idle_vm_is_light(self, model):
+        small = Flavor("g", vcpus=2, ram_gib=4)
+        assert not model.is_heavy(small, memory_ratio=0.5, write_intensity=0.005)
+
+    def test_memory_ratio_bounds(self, model):
+        with pytest.raises(ValueError):
+            model.estimate_for_vm(Flavor("f", 1, 1), memory_ratio=1.5)
+
+
+@given(
+    memory=st.floats(min_value=0, max_value=1e7),
+    dirty=st.floats(min_value=0, max_value=5e4),
+)
+def test_property_estimate_invariants(memory, dirty):
+    model = PrecopyModel(bandwidth_mbps=10_000)
+    estimate = model.estimate(memory, dirty)
+    assert estimate.total_seconds >= 0
+    assert estimate.downtime_seconds >= 0
+    assert estimate.downtime_seconds <= estimate.total_seconds + 1e-9
+    assert estimate.transferred_mb >= min(memory, memory)  # at least one copy
+    # Converged migrations respect the downtime target.
+    if estimate.converged:
+        assert estimate.downtime_seconds <= model.downtime_target_mb / model.bandwidth + 1e-9

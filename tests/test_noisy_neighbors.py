@@ -1,0 +1,61 @@
+"""Tests for the noisy-neighbour victim analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.noisy_neighbors import (
+    blast_radius,
+    node_degradation_windows,
+    victim_exposures,
+    victim_report,
+)
+
+
+def test_degradation_windows_only_contended_nodes(small_dataset):
+    windows = node_degradation_windows(small_dataset, threshold_pct=10.0)
+    hotspots = set(small_dataset.meta["hotspot_nodes"])
+    assert windows, "the dataset must contain contended nodes"
+    # Every flagged node shows samples above the threshold; hotspots are in.
+    assert hotspots & set(windows)
+    for mask in windows.values():
+        assert mask.any()
+
+
+def test_victims_live_on_contended_nodes(small_dataset):
+    exposures = victim_exposures(small_dataset)
+    assert exposures, "contended nodes host VMs, so victims must exist"
+    contended = set(node_degradation_windows(small_dataset))
+    for e in exposures:
+        assert e.node_id in contended
+        assert 0.0 < e.exposed_share <= 1.0
+        assert e.mean_contention_when_exposed > 10.0
+        assert e.peak_contention >= e.mean_contention_when_exposed - 1e-9
+
+
+def test_victims_sorted_by_exposure(small_dataset):
+    exposures = victim_exposures(small_dataset)
+    shares = [e.exposed_share for e in exposures]
+    assert shares == sorted(shares, reverse=True)
+
+
+def test_higher_threshold_fewer_victims(small_dataset):
+    strict = victim_exposures(small_dataset, threshold_pct=10.0)
+    severe = victim_exposures(small_dataset, threshold_pct=40.0)
+    assert len(severe) <= len(strict)
+
+
+def test_report_matches_exposures(small_dataset):
+    report = victim_report(small_dataset)
+    exposures = victim_exposures(small_dataset)
+    assert len(report) == len(exposures)
+    assert list(report["vm_id"])[:3] == [e.vm_id for e in exposures[:3]]
+
+
+def test_blast_radius_small_but_nonzero(small_dataset):
+    """§5.1's shape: contention is real but confined — only a minority of
+    the VM population is exposed."""
+    radius = blast_radius(small_dataset)
+    assert radius["affected_vms"] > 0
+    assert radius["affected_vm_share"] < 0.30
+    assert radius["affected_nodes"] >= 1
+    assert 0.0 < radius["worst_exposed_share"] <= 1.0

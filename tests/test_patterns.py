@@ -1,0 +1,137 @@
+"""Tests for temporal demand patterns."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import patterns as pat
+
+
+@pytest.fixture
+def week_grid() -> np.ndarray:
+    return np.arange(0, 7 * pat.SECONDS_PER_DAY, 900.0)
+
+
+class TestConstant:
+    def test_level(self, week_grid):
+        assert np.all(pat.constant(0.4)(week_grid) == 0.4)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            pat.constant(-0.1)
+
+
+class TestDiurnal:
+    def test_peaks_at_peak_hour(self):
+        pattern = pat.diurnal(base=0.1, peak=0.9, peak_hour=12.0)
+        hours = np.arange(0, 24) * 3600.0
+        values = pattern(hours)
+        assert np.argmax(values) == 12
+        assert values.max() == pytest.approx(0.9)
+        assert values.min() >= 0.1 - 1e-9
+
+    def test_wraps_around_midnight(self):
+        pattern = pat.diurnal(base=0.0, peak=1.0, peak_hour=0.0, width_hours=2.0)
+        values = pattern(np.asarray([0.0, 23 * 3600.0, 1 * 3600.0]))
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == pytest.approx(values[2])
+
+    def test_peak_below_base_raises(self):
+        with pytest.raises(ValueError):
+            pat.diurnal(base=0.5, peak=0.1)
+
+
+class TestWeekly:
+    def test_weekend_scaled(self, week_grid):
+        # Epoch day 0 is Thursday; days 2-3 (Sat/Sun) are the weekend.
+        values = pat.weekly(1.0, 0.5)(week_grid)
+        saturday = week_grid[
+            (week_grid >= 2 * pat.SECONDS_PER_DAY)
+            & (week_grid < 3 * pat.SECONDS_PER_DAY)
+        ]
+        assert np.all(pat.weekly(1.0, 0.5)(saturday) == 0.5)
+        assert values[0] == 1.0  # Thursday
+
+    def test_five_weekdays_two_weekend_days(self, week_grid):
+        values = pat.weekly(1.0, 0.0)(week_grid)
+        weekend_share = float(np.mean(values == 0.0))
+        assert weekend_share == pytest.approx(2 / 7, abs=0.01)
+
+
+class TestRamp:
+    def test_linear_progression(self):
+        pattern = pat.ramp(0.0, 1.0, duration=100.0)
+        values = pattern(np.asarray([0.0, 50.0, 100.0, 200.0]))
+        assert values == pytest.approx([0.0, 0.5, 1.0, 1.0])
+
+    def test_relative_to_first_timestamp(self):
+        pattern = pat.ramp(0.0, 1.0, duration=100.0)
+        values = pattern(np.asarray([1000.0, 1100.0]))
+        assert values == pytest.approx([0.0, 1.0])
+
+    def test_decreasing_ramp(self):
+        pattern = pat.ramp(0.8, 0.2, duration=10.0)
+        values = pattern(np.asarray([0.0, 10.0]))
+        assert values == pytest.approx([0.8, 0.2])
+
+    def test_empty_input(self):
+        assert len(pat.ramp(0, 1, 10)(np.asarray([]))) == 0
+
+
+class TestBursty:
+    def test_levels_are_base_or_burst(self, week_grid, rng):
+        pattern = pat.bursty(0.1, 0.9, burst_probability=0.3, rng=rng)
+        values = pattern(week_grid)
+        assert set(np.unique(values)) <= {0.1, 0.9}
+
+    def test_burst_share_tracks_probability(self, week_grid, rng):
+        pattern = pat.bursty(0.0, 1.0, burst_probability=0.25, rng=rng, correlation=1)
+        share = float(np.mean(pattern(week_grid)))
+        assert 0.2 < share < 0.3
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            pat.bursty(0.1, 0.9, burst_probability=1.5, rng=rng)
+
+
+class TestSpikeTrain:
+    def test_period_and_width(self):
+        pattern = pat.spike_train(0.0, 1.0, period=100.0, spike_width=10.0)
+        grid = np.arange(0, 300, 1.0)
+        values = pattern(grid)
+        assert float(np.mean(values)) == pytest.approx(0.1, abs=0.02)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            pat.spike_train(0, 1, period=0, spike_width=1)
+
+
+class TestComposite:
+    def test_max_mode(self, week_grid):
+        combo = pat.composite([pat.constant(0.2), pat.constant(0.6)], "max")
+        assert np.all(combo(week_grid) == 0.6)
+
+    def test_sum_clipped(self, week_grid):
+        combo = pat.composite([pat.constant(0.8), pat.constant(0.8)], "sum")
+        assert np.all(combo(week_grid) == 1.0)
+
+    def test_product(self, week_grid):
+        combo = pat.composite([pat.constant(0.5), pat.constant(0.5)], "product")
+        assert np.all(combo(week_grid) == 0.25)
+
+    def test_empty_and_bad_mode(self):
+        with pytest.raises(ValueError):
+            pat.composite([], "max")
+        with pytest.raises(ValueError):
+            pat.composite([pat.constant(0.1)], "avg")
+
+
+class TestNoise:
+    def test_noise_clipped_to_unit_interval(self, week_grid, rng):
+        noisy = pat.with_noise(pat.constant(0.02), sigma=0.5, rng=rng)
+        values = noisy(week_grid)
+        assert values.min() >= 0.0
+        assert values.max() <= 1.0
+
+    def test_negative_sigma_raises(self, rng):
+        with pytest.raises(ValueError):
+            pat.with_noise(pat.constant(0.5), sigma=-1, rng=rng)

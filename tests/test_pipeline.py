@@ -1,0 +1,120 @@
+"""Tests for the FilterScheduler: the full filter → weigh → claim flow."""
+
+import pytest
+
+from repro.infrastructure.flavors import default_catalog
+from repro.scheduler.pipeline import FilterScheduler, NoValidHost
+from repro.scheduler.placement import PlacementService, VCPU
+from repro.scheduler.request import RequestSpec
+
+
+@pytest.fixture
+def scheduler(tiny_region):
+    placement = PlacementService()
+    for bb in tiny_region.iter_building_blocks():
+        placement.register_building_block(bb)
+    return FilterScheduler(tiny_region, placement)
+
+
+@pytest.fixture
+def catalog():
+    return default_catalog()
+
+
+def request(catalog, flavor_name="g_c4_m16", vm_id="v1", **kwargs) -> RequestSpec:
+    return RequestSpec(vm_id=vm_id, flavor=catalog.get(flavor_name), **kwargs)
+
+
+class TestScheduling:
+    def test_basic_placement_claims_resources(self, scheduler, catalog):
+        result = scheduler.schedule(request(catalog))
+        assert result.host_id in ("dc1-gp-00", "dc2-gp-00")
+        allocation = scheduler.placement.allocation_for("v1")
+        assert allocation.provider_id == result.host_id
+        assert scheduler.stats["placed"] == 1
+
+    def test_az_constraint_honoured(self, scheduler, catalog):
+        result = scheduler.schedule(request(catalog, availability_zone="az2"))
+        assert result.host_id == "dc2-gp-00"
+
+    def test_hana_xl_flavor_lands_on_special_bb(self, scheduler, catalog):
+        result = scheduler.schedule(request(catalog, "h_c96_m3072"))
+        assert result.host_id == "dc1-hana-00"
+
+    def test_general_vm_never_lands_on_special_bb(self, scheduler, catalog):
+        for i in range(20):
+            result = scheduler.schedule(request(catalog, vm_id=f"v{i}"))
+            assert result.host_id != "dc1-hana-00"
+
+    def test_spread_weighers_balance_load(self, scheduler, catalog):
+        # Big VMs so free capacities converge: once the larger BB drains to
+        # the level of the smaller one, spread alternates between them.
+        hosts = [
+            scheduler.schedule(
+                request(catalog, "g_c64_m256", vm_id=f"v{i}")
+            ).host_id
+            for i in range(10)
+        ]
+        assert len(set(hosts)) == 2
+
+    def test_pack_weighers_concentrate_hana(self, scheduler, catalog):
+        """Non-XL HANA flavors go to the plain hana aggregate and pack."""
+        hosts = {
+            scheduler.schedule(request(catalog, "h_c32_m512", vm_id=f"h{i}")).host_id
+            for i in range(5)
+        }
+        assert hosts == {"dc1-hana-01"}
+
+    def test_no_valid_host_when_too_big(self, scheduler, catalog):
+        big = request(catalog, "h_c128_m12288", availability_zone="az2")
+        with pytest.raises(NoValidHost):
+            scheduler.schedule(big)
+        assert scheduler.stats["failed"] == 1
+
+    def test_alternates_reported(self, scheduler, catalog):
+        result = scheduler.schedule(request(catalog))
+        assert result.host_id not in result.alternates
+        assert len(result.alternates) >= 1
+
+    def test_filtered_counts_trace_pipeline(self, scheduler, catalog):
+        result = scheduler.schedule(request(catalog))
+        counts = result.filtered_counts
+        assert counts["initial"] == 4
+        # Both HANA aggregates are always removed for general flavors.
+        assert counts["AggregateInstanceExtraSpecsFilter"] == 2
+
+    def test_capacity_exhaustion_fails_eventually(self, scheduler, catalog):
+        """Keep placing until everything is full; scheduler must refuse."""
+        placed = 0
+        with pytest.raises(NoValidHost):
+            for i in range(10_000):
+                scheduler.schedule(request(catalog, "g_c64_m256", vm_id=f"v{i}"))
+                placed += 1
+        assert placed > 0
+        # Every successful claim is still within capacity.
+        for provider in scheduler.placement.providers():
+            assert provider.used[VCPU] <= provider.capacity(VCPU) + 1e-9
+
+    def test_retry_after_racing_claim(self, scheduler, catalog):
+        """If the chosen host's claim fails (raced), alternates are tried."""
+        spec = request(catalog)
+        ranked, _counts = scheduler.select_destinations(spec)
+        best = ranked[0][0].host_id
+        # Simulate a racing workload stealing the capacity of `best`.
+        provider = scheduler.placement.provider(best)
+        steal = provider.free(VCPU)
+        scheduler.placement.claim(
+            "thief", best,
+            type(spec.requested())(vcpus=steal, memory_mb=1, disk_gb=1),
+        )
+        result = scheduler.schedule(spec)
+        assert result.host_id != best
+
+    def test_max_attempts_bounds_retries(self, tiny_region, catalog):
+        placement = PlacementService()
+        for bb in tiny_region.iter_building_blocks():
+            placement.register_building_block(bb)
+        scheduler = FilterScheduler(tiny_region, placement, max_attempts=1)
+        with pytest.raises(ValueError):
+            FilterScheduler(tiny_region, placement, max_attempts=0)
+        assert scheduler.max_attempts == 1

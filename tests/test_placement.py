@@ -1,0 +1,179 @@
+"""Tests for the placement service: inventories, claims, moves."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.infrastructure.capacity import Capacity
+from repro.scheduler.placement import (
+    DISK_GB,
+    MEMORY_MB,
+    VCPU,
+    AllocationError,
+    PlacementService,
+    ResourceProvider,
+)
+from tests.conftest import make_bb
+
+
+@pytest.fixture
+def placement(tiny_region):
+    service = PlacementService()
+    for bb in tiny_region.iter_building_blocks():
+        service.register_building_block(bb)
+    return service
+
+
+class TestProviders:
+    def test_register_builds_inventories(self, placement):
+        provider = placement.provider("dc1-gp-00")
+        assert provider.capacity(VCPU) == 4 * 64 * 4.0
+        assert provider.capacity(MEMORY_MB) == 4 * 512 * 1024
+        assert provider.free(VCPU) == provider.capacity(VCPU)
+
+    def test_duplicate_registration_rejected(self, placement, tiny_region):
+        bb = tiny_region.find_building_block("dc1-gp-00")
+        with pytest.raises(AllocationError, match="already registered"):
+            placement.register_building_block(bb)
+
+    def test_unknown_provider_raises(self, placement):
+        with pytest.raises(AllocationError, match="unknown provider"):
+            placement.provider("ghost")
+
+    def test_inventory_validation(self):
+        provider = ResourceProvider("p")
+        with pytest.raises(ValueError):
+            provider.set_inventory(VCPU, total=-1)
+        with pytest.raises(ValueError):
+            provider.set_inventory("BOGUS", total=1)
+
+    def test_reserved_reduces_capacity(self):
+        provider = ResourceProvider("p")
+        provider.set_inventory(VCPU, total=100, ratio=2.0, reserved=10)
+        assert provider.capacity(VCPU) == 180
+
+    def test_remove_provider_with_allocations_refused(self, placement):
+        placement.claim("c1", "dc1-gp-00", Capacity(vcpus=1, memory_mb=1024, disk_gb=1))
+        with pytest.raises(AllocationError, match="still has allocations"):
+            placement.remove_provider("dc1-gp-00")
+        placement.release("c1")
+        placement.remove_provider("dc1-gp-00")
+
+
+class TestClaims:
+    REQ = Capacity(vcpus=8, memory_mb=32 * 1024, disk_gb=100)
+
+    def test_claim_reserves_resources(self, placement):
+        before = placement.provider("dc1-gp-00").free(VCPU)
+        placement.claim("c1", "dc1-gp-00", self.REQ)
+        assert placement.provider("dc1-gp-00").free(VCPU) == before - 8
+
+    def test_double_claim_rejected(self, placement):
+        placement.claim("c1", "dc1-gp-00", self.REQ)
+        with pytest.raises(AllocationError, match="already has an allocation"):
+            placement.claim("c1", "dc2-gp-00", self.REQ)
+
+    def test_oversized_claim_rejected_atomically(self, placement):
+        provider = placement.provider("dc1-gp-00")
+        huge = Capacity(vcpus=1, memory_mb=provider.capacity(MEMORY_MB) + 1, disk_gb=1)
+        with pytest.raises(AllocationError, match="does not fit"):
+            placement.claim("c1", "dc1-gp-00", huge)
+        assert provider.used[VCPU] == 0.0  # nothing partially booked
+
+    def test_release_returns_resources(self, placement):
+        placement.claim("c1", "dc1-gp-00", self.REQ)
+        placement.release("c1")
+        provider = placement.provider("dc1-gp-00")
+        assert provider.used[VCPU] == 0.0
+        assert placement.allocation_for("c1") is None
+
+    def test_release_unknown_consumer_raises(self, placement):
+        with pytest.raises(AllocationError, match="has no allocation"):
+            placement.release("ghost")
+
+    def test_move_rehomes_allocation(self, placement):
+        placement.claim("c1", "dc1-gp-00", self.REQ)
+        placement.move("c1", "dc2-gp-00")
+        assert placement.allocation_for("c1").provider_id == "dc2-gp-00"
+        assert placement.provider("dc1-gp-00").used[VCPU] == 0.0
+        assert placement.provider("dc2-gp-00").used[VCPU] == 8.0
+
+    def test_move_that_does_not_fit_keeps_source(self, placement):
+        bb_capacity = placement.provider("dc2-gp-00").capacity(VCPU)
+        placement.claim("big", "dc2-gp-00", Capacity(vcpus=bb_capacity, memory_mb=1, disk_gb=1))
+        placement.claim("c1", "dc1-gp-00", self.REQ)
+        with pytest.raises(AllocationError, match="does not fit"):
+            placement.move("c1", "dc2-gp-00")
+        assert placement.allocation_for("c1").provider_id == "dc1-gp-00"
+
+    def test_allocations_on(self, placement):
+        placement.claim("c1", "dc1-gp-00", self.REQ)
+        placement.claim("c2", "dc1-gp-00", self.REQ)
+        assert len(placement.allocations_on("dc1-gp-00")) == 2
+
+    def test_usage_report_fractions(self, placement):
+        placement.claim("c1", "dc1-gp-00", self.REQ)
+        report = placement.usage_report()
+        assert 0 < report["dc1-gp-00"][VCPU] < 1
+        assert report["dc2-gp-00"][VCPU] == 0.0
+
+
+@given(
+    requests=st.lists(
+        st.tuples(
+            st.floats(min_value=0.5, max_value=64),
+            st.floats(min_value=256, max_value=128 * 1024),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_claims_never_exceed_capacity(requests):
+    """No interleaving of claims can oversubscribe the provider."""
+    bb = make_bb("bb", nodes=2)
+    service = PlacementService()
+    service.register_building_block(bb)
+    provider = service.provider("bb")
+    for i, (vcpus, mem) in enumerate(requests):
+        try:
+            service.claim(f"c{i}", "bb", Capacity(vcpus=vcpus, memory_mb=mem, disk_gb=1))
+        except AllocationError:
+            pass
+        assert provider.used[VCPU] <= provider.capacity(VCPU) + 1e-6
+        assert provider.used[MEMORY_MB] <= provider.capacity(MEMORY_MB) + 1e-6
+        assert provider.used[DISK_GB] <= provider.capacity(DISK_GB) + 1e-6
+
+
+@given(
+    seq=st.lists(st.sampled_from(["claim", "release", "move"]), max_size=40),
+)
+def test_property_claim_release_conservation(seq):
+    """used == sum of live allocations after any claim/release/move mix."""
+    bbs = [make_bb("bb-a", nodes=1), make_bb("bb-b", nodes=1)]
+    service = PlacementService()
+    for bb in bbs:
+        service.register_building_block(bb)
+    live: set[str] = set()
+    counter = 0
+    req = Capacity(vcpus=4, memory_mb=4096, disk_gb=10)
+    for op in seq:
+        try:
+            if op == "claim":
+                cid = f"c{counter}"
+                counter += 1
+                service.claim(cid, "bb-a", req)
+                live.add(cid)
+            elif op == "release" and live:
+                cid = sorted(live)[0]
+                service.release(cid)
+                live.discard(cid)
+            elif op == "move" and live:
+                cid = sorted(live)[-1]
+                current = service.allocation_for(cid).provider_id
+                target = "bb-b" if current == "bb-a" else "bb-a"
+                service.move(cid, target)
+        except AllocationError:
+            pass
+        total_used = sum(
+            p.used.get(VCPU, 0.0) for p in service.providers()
+        )
+        assert total_used == pytest.approx(len(live) * 4.0)

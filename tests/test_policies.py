@@ -1,0 +1,37 @@
+"""Tests for the pack-vs-spread policy split (§3.2)."""
+
+from repro.infrastructure.flavors import default_catalog
+from repro.scheduler.policies import (
+    pack_policy_weighers,
+    spread_policy_weighers,
+    weighers_for_flavor,
+)
+from repro.scheduler.weighers import RAMWeigher
+
+
+def test_spread_weighers_positive_free_resource_multipliers():
+    for weigher in spread_policy_weighers():
+        assert weigher.multiplier > 0
+
+
+def test_pack_weighers_negative_memory_multiplier():
+    """§3.2: S/4HANA workloads are bin-packed to maximise memory use."""
+    ram = [w for w in pack_policy_weighers() if isinstance(w, RAMWeigher)]
+    assert len(ram) == 1
+    assert ram[0].multiplier < 0
+
+
+def test_pack_memory_dominates_cpu():
+    weighers = {type(w).__name__: w for w in pack_policy_weighers()}
+    assert abs(weighers["RAMWeigher"].multiplier) > abs(
+        weighers["CPUWeigher"].multiplier
+    )
+
+
+def test_flavor_routing():
+    catalog = default_catalog()
+    hana = weighers_for_flavor(catalog.get("h_c32_m512"))
+    general = weighers_for_flavor(catalog.get("g_c4_m16"))
+    hana_ram = [w for w in hana if isinstance(w, RAMWeigher)][0]
+    general_ram = [w for w in general if isinstance(w, RAMWeigher)][0]
+    assert hana_ram.multiplier < 0 < general_ram.multiplier

@@ -1,0 +1,94 @@
+"""Tests for population sampling: Table 1/2 shape and lifecycle sanity."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.population import FLAVOR_MIX, sample_population
+from repro.infrastructure.flavors import default_catalog
+
+WINDOW_START = 1_000_000.0
+WINDOW_END = WINDOW_START + 30 * 86_400.0
+
+
+@pytest.fixture(scope="module")
+def population():
+    rng = np.random.default_rng(3)
+    return sample_population(4000, WINDOW_START, WINDOW_END, rng, churn_fraction=0.1)
+
+
+def test_mix_references_known_flavors():
+    catalog = default_catalog()
+    for name, _weight in FLAVOR_MIX:
+        assert name in catalog
+
+
+def test_population_size(population):
+    assert len(population) == 4000 + 400
+
+
+def test_vcpu_class_proportions_match_table1(population):
+    """Table 1 shares: small .627, medium .316, large .040, xlarge .016."""
+    counts = {"small": 0, "medium": 0, "large": 0, "xlarge": 0}
+    for record in population:
+        counts[record.flavor.vcpu_class] += 1
+    total = len(population)
+    assert counts["small"] / total == pytest.approx(0.627, abs=0.05)
+    assert counts["medium"] / total == pytest.approx(0.316, abs=0.05)
+    assert counts["large"] / total == pytest.approx(0.040, abs=0.02)
+    assert counts["xlarge"] / total == pytest.approx(0.016, abs=0.01)
+
+
+def test_ram_class_proportions_match_table2(population):
+    """Table 2 shares: small .022, medium .913, large .017, xlarge .048."""
+    counts = {"small": 0, "medium": 0, "large": 0, "xlarge": 0}
+    for record in population:
+        counts[record.flavor.ram_class] += 1
+    total = len(population)
+    assert counts["small"] / total == pytest.approx(0.022, abs=0.015)
+    assert counts["medium"] / total == pytest.approx(0.913, abs=0.05)
+    assert counts["large"] / total == pytest.approx(0.017, abs=0.015)
+    assert counts["xlarge"] / total == pytest.approx(0.048, abs=0.03)
+
+
+def test_initial_vms_created_before_window(population):
+    initial = population[:4000]
+    assert all(r.created_at < WINDOW_START for r in initial)
+    # Alive at window start: deletion strictly after creation, at/after start.
+    assert all(r.deleted_or_inf >= WINDOW_START for r in initial)
+
+
+def test_churn_vms_arrive_within_window(population):
+    churn = population[4000:]
+    assert all(WINDOW_START <= r.created_at < WINDOW_END for r in churn)
+
+
+def test_initial_population_mostly_survives_window(population):
+    """Length-biased snapshot sampling: the standing population is
+    long-lived, so only a modest share departs within 30 days."""
+    initial = population[:4000]
+    departing = sum(1 for r in initial if r.deleted_at is not None)
+    assert departing / len(initial) < 0.35
+
+
+def test_deleted_within_window_marked(population):
+    for record in population:
+        if record.deleted_at is not None:
+            assert record.created_at < record.deleted_at <= WINDOW_END
+
+
+def test_vm_ids_unique(population):
+    ids = [r.vm_id for r in population]
+    assert len(ids) == len(set(ids))
+
+
+def test_deterministic_with_same_seed():
+    a = sample_population(100, WINDOW_START, WINDOW_END, np.random.default_rng(5))
+    b = sample_population(100, WINDOW_START, WINDOW_END, np.random.default_rng(5))
+    assert [r.flavor.name for r in a] == [r.flavor.name for r in b]
+    assert [r.created_at for r in a] == [r.created_at for r in b]
+
+
+def test_invalid_inputs():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        sample_population(0, WINDOW_START, WINDOW_END, rng)

@@ -1,0 +1,155 @@
+"""Tests for QoS classes, NUMA topology, and CPU pinning (§8 outlook)."""
+
+import pytest
+
+from repro.infrastructure.flavors import Flavor, default_catalog
+from repro.qos.classes import QOS_CLASSES, QosClass, qos_for_flavor
+from repro.qos.numa import NumaTopology
+from repro.qos.pinning import CpuPinningAllocator, PinningError
+
+
+class TestQosClasses:
+    def test_three_tiers(self):
+        assert set(QOS_CLASSES) == {"guaranteed", "burstable", "besteffort"}
+
+    def test_guaranteed_is_dedicated(self):
+        guaranteed = QOS_CLASSES["guaranteed"]
+        assert guaranteed.max_cpu_overcommit == 1.0
+        assert guaranteed.requires_pinning
+        assert guaranteed.requires_numa_alignment
+
+    def test_ceilings_follow_paper_thresholds(self):
+        """10% strict / 30% moderate thresholds of §5.1."""
+        assert QOS_CLASSES["burstable"].contention_ceiling_pct == 10.0
+        assert QOS_CLASSES["besteffort"].contention_ceiling_pct == 30.0
+
+    def test_hana_defaults_to_guaranteed(self):
+        catalog = default_catalog()
+        assert qos_for_flavor(catalog.get("h_c64_m1024")).name == "guaranteed"
+        assert qos_for_flavor(catalog.get("g_c2_m4")).name == "besteffort"
+        assert qos_for_flavor(catalog.get("g_c32_m128")).name == "burstable"
+
+    def test_explicit_extra_spec_wins(self):
+        flavor = Flavor("f", 2, 4, extra_specs=(("qos_class", "guaranteed"),))
+        assert qos_for_flavor(flavor).name == "guaranteed"
+        bad = Flavor("f2", 2, 4, extra_specs=(("qos_class", "platinum"),))
+        with pytest.raises(ValueError):
+            qos_for_flavor(bad)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QosClass("x", max_cpu_overcommit=0.5, contention_ceiling_pct=1,
+                     requires_pinning=False, requires_numa_alignment=False)
+
+
+class TestNumaTopology:
+    def test_symmetric_split(self):
+        topo = NumaTopology.symmetric(sockets=2, cores_total=128, memory_mb_total=2048)
+        assert len(topo.nodes) == 2
+        assert all(n.cores == 64 for n in topo.nodes)
+        assert all(n.memory_mb == 1024 for n in topo.nodes)
+
+    def test_small_vm_lands_on_one_node(self):
+        topo = NumaTopology.symmetric(2, 128, 1024 * 1024)
+        placement = topo.place("v1", Flavor("f", vcpus=8, ram_gib=64))
+        assert placement.aligned
+
+    def test_wide_vm_spans_sockets(self):
+        topo = NumaTopology.symmetric(2, 128, 1024 * 1024)
+        placement = topo.place("v1", Flavor("f", vcpus=96, ram_gib=256))
+        assert placement.node_count == 2
+        assert not placement.aligned
+
+    def test_reservations_reduce_free(self):
+        topo = NumaTopology.symmetric(2, 128, 1024 * 1024)
+        topo.place("v1", Flavor("f", vcpus=60, ram_gib=100))
+        busiest = max(topo.nodes, key=lambda n: n.reserved_cores)
+        assert busiest.free_cores == 4
+
+    def test_release_restores(self):
+        topo = NumaTopology.symmetric(2, 128, 1024 * 1024)
+        topo.place("v1", Flavor("f", vcpus=60, ram_gib=100))
+        topo.release("v1")
+        assert all(n.reserved_cores == 0 for n in topo.nodes)
+        with pytest.raises(KeyError):
+            topo.release("v1")
+
+    def test_place_rejects_overflow(self):
+        topo = NumaTopology.symmetric(2, 16, 64 * 1024)
+        with pytest.raises(ValueError, match="does not fit"):
+            topo.place("v1", Flavor("f", vcpus=32, ram_gib=8))
+
+    def test_duplicate_placement_rejected(self):
+        topo = NumaTopology.symmetric(2, 128, 1024 * 1024)
+        topo.place("v1", Flavor("f", vcpus=4, ram_gib=8))
+        with pytest.raises(ValueError, match="already placed"):
+            topo.place("v1", Flavor("f2", vcpus=4, ram_gib=8))
+
+    def test_alignment_score_degrades_with_fragmentation(self):
+        topo = NumaTopology.symmetric(2, 64, 512 * 1024)
+        flavor = Flavor("f", vcpus=24, ram_gib=64)
+        assert topo.alignment_score(flavor) == 1.0
+        # Fragment both sockets so 24 contiguous cores no longer exist.
+        topo.place("a", Flavor("fa", vcpus=16, ram_gib=16))
+        topo.place("b", Flavor("fb", vcpus=16, ram_gib=16))
+        score = topo.alignment_score(flavor)
+        assert 0.0 < score < 1.0
+
+    def test_alignment_score_zero_when_full(self):
+        topo = NumaTopology.symmetric(1, 8, 16 * 1024)
+        topo.place("a", Flavor("fa", vcpus=8, ram_gib=8))
+        assert topo.alignment_score(Flavor("f", vcpus=2, ram_gib=2)) == 0.0
+
+
+class TestCpuPinning:
+    def test_pin_returns_distinct_cores(self):
+        allocator = CpuPinningAllocator(total_cores=16)
+        cores = allocator.pin("v1", 4)
+        assert len(cores) == 4
+        assert len(set(cores)) == 4
+        assert all(c >= allocator.reserved_system_cores for c in cores)
+
+    def test_pins_do_not_overlap(self):
+        allocator = CpuPinningAllocator(total_cores=16)
+        a = set(allocator.pin("v1", 4))
+        b = set(allocator.pin("v2", 4))
+        assert not a & b
+
+    def test_shared_pool_shrinks(self):
+        allocator = CpuPinningAllocator(total_cores=16, reserved_system_cores=2)
+        assert allocator.shared_cores == 14
+        allocator.pin("v1", 6)
+        assert allocator.shared_cores == 8
+        assert allocator.effective_shared_supply(100.0) == 8
+
+    def test_unpin_restores(self):
+        allocator = CpuPinningAllocator(total_cores=16)
+        allocator.pin("v1", 6)
+        allocator.unpin("v1")
+        assert allocator.shared_cores == 14
+        with pytest.raises(PinningError):
+            allocator.unpin("v1")
+
+    def test_over_pinning_rejected(self):
+        allocator = CpuPinningAllocator(total_cores=8, reserved_system_cores=2)
+        with pytest.raises(PinningError, match="only 6 available"):
+            allocator.pin("v1", 7)
+
+    def test_double_pin_rejected(self):
+        allocator = CpuPinningAllocator(total_cores=16)
+        allocator.pin("v1", 2)
+        with pytest.raises(PinningError, match="already"):
+            allocator.pin("v1", 2)
+
+    def test_cores_of(self):
+        allocator = CpuPinningAllocator(total_cores=16)
+        cores = allocator.pin("v1", 3)
+        assert allocator.cores_of("v1") == cores
+        with pytest.raises(PinningError):
+            allocator.cores_of("ghost")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuPinningAllocator(total_cores=0)
+        with pytest.raises(ValueError):
+            CpuPinningAllocator(total_cores=4, reserved_system_cores=4)

@@ -1,0 +1,97 @@
+"""Tests for QoS/NUMA scheduler integration."""
+
+import pytest
+
+from repro.infrastructure.flavors import Flavor, default_catalog
+from repro.qos.filters import NumaAlignmentWeigher, NumaFitFilter, QosClassFilter
+from repro.qos.numa import NumaTopology
+from repro.scheduler.hoststate import HostState
+from repro.scheduler.request import RequestSpec
+
+
+def host(host_id="h1", overcommit="4.0", **kwargs) -> HostState:
+    state = HostState(
+        host_id=host_id,
+        free_vcpus=1000,
+        free_ram_mb=1e7,
+        free_disk_gb=1e5,
+        total_vcpus=2000,
+        total_ram_mb=2e7,
+        total_disk_gb=2e5,
+        **kwargs,
+    )
+    state.metadata["cpu_overcommit"] = overcommit
+    return state
+
+
+def spec(flavor_name="g_c2_m4", vm_id="v1") -> RequestSpec:
+    return RequestSpec(vm_id=vm_id, flavor=default_catalog().get(flavor_name))
+
+
+class TestQosClassFilter:
+    def test_guaranteed_rejects_overcommitted_host(self):
+        flt = QosClassFilter()
+        hana_spec = spec("h_c32_m512")  # guaranteed tier
+        assert not flt.passes(host(overcommit="4.0"), hana_spec)
+        assert flt.passes(host(overcommit="1.0"), hana_spec)
+
+    def test_besteffort_tolerates_overcommit(self):
+        flt = QosClassFilter()
+        assert flt.passes(host(overcommit="4.0"), spec("g_c2_m4"))
+
+    def test_contention_ceiling_enforced(self):
+        flt = QosClassFilter(contention_scores={"noisy": 20.0, "calm": 2.0})
+        burstable = spec("g_c32_m128")  # ceiling 10%
+        assert not flt.passes(host("noisy", overcommit="2.0"), burstable)
+        assert flt.passes(host("calm", overcommit="2.0"), burstable)
+
+    def test_besteffort_accepts_moderate_contention(self):
+        flt = QosClassFilter(contention_scores={"noisy": 20.0})
+        assert flt.passes(host("noisy"), spec("g_c2_m4"))  # ceiling 30%
+
+    def test_unknown_host_counts_as_quiet(self):
+        flt = QosClassFilter(contention_scores={})
+        assert flt.passes(host(overcommit="2.0"), spec("g_c32_m128"))
+
+
+class TestNumaFitFilter:
+    def _topologies(self):
+        fresh = NumaTopology.symmetric(2, 128, 2048 * 1024)
+        fragmented = NumaTopology.symmetric(2, 128, 2048 * 1024)
+        # Fill each socket to 14 free cores: aggregate room remains, but no
+        # single socket can host a 16-vCPU aligned placement.
+        fragmented.place("x", Flavor("fx", vcpus=50, ram_gib=100))
+        fragmented.place("y", Flavor("fy", vcpus=50, ram_gib=100))
+        return {"fresh": fresh, "fragmented": fragmented}
+
+    def test_alignment_required_tier_needs_contiguous_room(self):
+        flt = NumaFitFilter(self._topologies())
+        hana_spec = spec("h_c16_m256")  # guaranteed: aligned
+        assert flt.passes(host("fresh"), hana_spec)
+        assert not flt.passes(host("fragmented"), hana_spec)
+
+    def test_besteffort_needs_only_aggregate_room(self):
+        flt = NumaFitFilter(self._topologies())
+        small = spec("g_c2_m4")  # besteffort: unaligned OK
+        assert flt.passes(host("fragmented"), small)
+
+    def test_host_without_topology_unconstrained(self):
+        flt = NumaFitFilter({})
+        assert flt.passes(host("unknown"), spec("h_c16_m256"))
+
+
+class TestNumaAlignmentWeigher:
+    def test_prefers_host_with_room_on_one_socket(self):
+        roomy = NumaTopology.symmetric(2, 128, 2048 * 1024)
+        tight = NumaTopology.symmetric(2, 128, 2048 * 1024)
+        tight.place("x", Flavor("fx", vcpus=55, ram_gib=64))
+        tight.place("y", Flavor("fy", vcpus=55, ram_gib=64))
+        weigher = NumaAlignmentWeigher({"roomy": roomy, "tight": tight})
+        request = spec("g_c16_m64")
+        assert weigher.raw_weight(host("roomy"), request) > weigher.raw_weight(
+            host("tight"), request
+        )
+
+    def test_unknown_host_neutral(self):
+        weigher = NumaAlignmentWeigher({})
+        assert weigher.raw_weight(host("x"), spec()) == 0.0

@@ -1,0 +1,66 @@
+"""Property-based tests for NUMA placement and CPU pinning invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.infrastructure.flavors import Flavor
+from repro.qos.numa import NumaTopology
+from repro.qos.pinning import CpuPinningAllocator, PinningError
+
+_flavors = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=64),  # vcpus
+        st.integers(min_value=1, max_value=2048),  # ram GiB
+    ),
+    max_size=20,
+)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(specs=_flavors, sockets=st.integers(min_value=1, max_value=4))
+def test_property_numa_reservations_bounded_and_reversible(specs, sockets):
+    """However many VMs are placed: per-node reservations never exceed the
+    node, totals match the placed set, and releasing everything restores a
+    pristine topology."""
+    topology = NumaTopology.symmetric(sockets, 128, 4096 * 1024)
+    placed: list[str] = []
+    expected_cores = 0
+    for i, (vcpus, ram) in enumerate(specs):
+        flavor = Flavor(f"f{i}", vcpus=vcpus, ram_gib=ram)
+        try:
+            topology.place(f"v{i}", flavor)
+        except ValueError:
+            continue
+        placed.append(f"v{i}")
+        expected_cores += vcpus
+        for node in topology.nodes:
+            assert 0 <= node.reserved_cores <= node.cores
+            assert -1e-6 <= node.reserved_memory_mb <= node.memory_mb + 1e-6
+    total_reserved = sum(n.reserved_cores for n in topology.nodes)
+    assert total_reserved == expected_cores
+    for vm_id in placed:
+        topology.release(vm_id)
+    assert all(n.reserved_cores == 0 for n in topology.nodes)
+    assert all(n.reserved_memory_mb == pytest.approx(0.0) for n in topology.nodes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    requests=st.lists(st.integers(min_value=1, max_value=40), max_size=15),
+    total=st.integers(min_value=4, max_value=128),
+)
+def test_property_pinning_partition(requests, total):
+    """Pinned sets are disjoint, inside the pinnable range, and shared +
+    pinned + system cores always partition the node exactly."""
+    allocator = CpuPinningAllocator(total_cores=total, reserved_system_cores=2)
+    seen: set[int] = set()
+    for i, vcpus in enumerate(requests):
+        try:
+            cores = allocator.pin(f"v{i}", vcpus)
+        except PinningError:
+            continue
+        assert not (set(cores) & seen)
+        assert all(2 <= c < total for c in cores)
+        seen |= set(cores)
+        assert allocator.pinned_cores + allocator.shared_cores + 2 == total
+    assert len(seen) == allocator.pinned_cores

@@ -1,0 +1,57 @@
+"""Property-based tests for the telemetry query language."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.query import evaluate
+from repro.telemetry.store import MetricStore
+from repro.telemetry.timeseries import TimeSeries
+
+_name = st.from_regex(r"[a-z][a-z0-9_]{0,15}", fullmatch=True)
+_value = st.from_regex(r"[a-zA-Z0-9_.\-]{1,12}", fullmatch=True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    metric=_name,
+    labels=st.dictionaries(_name, _value, min_size=0, max_size=3),
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+)
+def test_property_selector_round_trips_any_labels(metric, labels, values):
+    """Whatever labels the exporter used, a selector built from them finds
+    exactly that series with its values intact."""
+    store = MetricStore()
+    store.append_series(metric, labels, TimeSeries.regular(0, 60, values))
+    matcher = ", ".join(f'{k}="{v}"' for k, v in labels.items())
+    query = f"{metric}{{{matcher}}}" if matcher else metric
+    result = evaluate(store, query)
+    assert len(result) == 1
+    np.testing.assert_array_equal(result.single().values, np.asarray(values))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    n_series=st.integers(min_value=1, max_value=5),
+)
+def test_property_aggregations_match_numpy(values, n_series):
+    """mean/max/min/sum over aligned series equal the numpy results."""
+    store = MetricStore()
+    arrays = [np.asarray(values) * (i + 1) for i in range(n_series)]
+    for i, arr in enumerate(arrays):
+        store.append_series("m", {"s": str(i)}, TimeSeries.regular(0, 60, arr))
+    stacked = np.stack(arrays)
+    for agg, fn in (("mean", np.mean), ("max", np.max), ("min", np.min),
+                    ("sum", np.sum)):
+        series = evaluate(store, f"{agg}(m)").single()
+        np.testing.assert_allclose(
+            series.values, fn(stacked, axis=0), rtol=1e-12, atol=1e-9
+        )

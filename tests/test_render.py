@@ -1,0 +1,84 @@
+"""Tests for the text renderers."""
+
+import numpy as np
+
+from repro.analysis.render import render_cdf, render_heatmap, render_series_sparkline
+from repro.core.cdf import cdf_points
+from repro.core.heatmaps import HeatmapResult
+
+
+def _heatmap(matrix) -> HeatmapResult:
+    matrix = np.asarray(matrix, dtype=float)
+    return HeatmapResult(
+        resource="cpu",
+        matrix=matrix,
+        day_starts=np.arange(matrix.shape[0]) * 86_400.0,
+        columns=[f"n{i}" for i in range(matrix.shape[1])],
+        level="node",
+    )
+
+
+class TestHeatmapRender:
+    def test_one_line_per_day(self):
+        text = render_heatmap(_heatmap(np.full((5, 8), 50.0)))
+        assert len(text.splitlines()) == 6  # header + 5 rows
+
+    def test_shading_tracks_utilisation(self):
+        text = render_heatmap(_heatmap([[100.0, 0.0]]))
+        row = text.splitlines()[1]
+        assert row[0] == " "  # fully free
+        assert row[1] == "█"  # fully utilised
+
+    def test_missing_cells_marked(self):
+        text = render_heatmap(_heatmap([[np.nan, 50.0]]))
+        assert text.splitlines()[1][0] == "·"
+
+    def test_wide_matrix_subsampled(self):
+        text = render_heatmap(_heatmap(np.full((2, 500), 50.0)), max_columns=40)
+        assert len(text.splitlines()[1]) == 40
+
+    def test_tall_matrix_subsampled(self):
+        text = render_heatmap(_heatmap(np.full((90, 3), 50.0)), max_rows=10)
+        assert len(text.splitlines()) == 11
+
+    def test_real_heatmap_renders(self, small_dataset):
+        from repro.analysis.figures import fig5_dc_cpu_heatmap
+
+        text = render_heatmap(fig5_dc_cpu_heatmap(small_dataset))
+        assert "cpu" in text
+        assert len(text.splitlines()) == 31
+
+
+class TestCdfRender:
+    def test_axes_and_dots(self):
+        values, fractions = cdf_points([1.0, 2.0, 3.0, 10.0])
+        text = render_cdf(values, fractions, title="demo")
+        assert text.splitlines()[0] == "demo"
+        assert "•" in text
+        assert "1.00 |" in text
+        assert "0.00 |" in text
+
+    def test_empty_safe(self):
+        assert "(empty)" in render_cdf(np.asarray([]), np.asarray([]), title="x")
+
+    def test_constant_values(self):
+        values, fractions = cdf_points([5.0, 5.0, 5.0])
+        text = render_cdf(values, fractions)
+        assert "•" in text
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        line = render_series_sparkline(np.arange(1000), width=40)
+        assert len(line) == 40
+
+    def test_monotone_input_monotone_blocks(self):
+        line = render_series_sparkline(np.arange(8))
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_flat_input(self):
+        line = render_series_sparkline(np.full(10, 3.0))
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert render_series_sparkline(np.asarray([])) == ""

@@ -1,0 +1,37 @@
+"""Edge-case tests for the markdown report renderer."""
+
+import pytest
+
+from repro.analysis.report import _frame_to_markdown
+from repro.frame import Frame
+
+
+def test_header_and_separator():
+    frame = Frame({"a": [1], "b": ["x"]})
+    lines = _frame_to_markdown(frame).splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | x |"
+
+
+def test_row_cap_with_ellipsis():
+    frame = Frame({"v": list(range(20))})
+    text = _frame_to_markdown(frame, max_rows=5)
+    assert "(15 more rows)" in text
+    assert text.count("\n") == 7  # header + sep + 5 rows + ellipsis
+
+
+def test_float_formatting_compact():
+    frame = Frame({"v": [0.123456789]})
+    assert "0.1235" in _frame_to_markdown(frame)
+
+
+def test_exact_row_limit_no_ellipsis():
+    frame = Frame({"v": [1, 2, 3]})
+    assert "more rows" not in _frame_to_markdown(frame, max_rows=3)
+
+
+def test_empty_frame_renders_header_only():
+    frame = Frame.empty(["a", "b"])
+    lines = _frame_to_markdown(frame).splitlines()
+    assert len(lines) == 2

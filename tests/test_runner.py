@@ -1,0 +1,87 @@
+"""Integration tests for the discrete-event regional simulation."""
+
+import pytest
+
+from repro.scheduler.placement import MEMORY_MB, VCPU
+from repro.simulation.runner import RegionSimulation, SimulationConfig
+
+
+from tests.conftest import build_tiny_region_spec
+
+
+@pytest.fixture(scope="module")
+def result():
+    sim = RegionSimulation(
+        build_tiny_region_spec(),
+        SimulationConfig(
+            duration_days=1.0,
+            scrape_interval_s=1800,
+            drs_interval_s=7200,
+            arrival_rate_per_hour=12.0,
+            initial_vms=60,
+            seed=3,
+        ),
+    )
+    return sim.run()
+
+
+class TestLifecycle:
+    def test_vms_created_and_some_deleted(self, result):
+        assert result.created >= 60
+        assert result.deleted > 0
+        # Initial 60 + ~288 Poisson arrivals (12/hour over one day).
+        assert result.created <= 60 + 450
+
+    def test_placement_allocations_match_residents(self, result):
+        """Every live VM holds exactly one allocation on its BB provider."""
+        for bb in result.region.iter_building_blocks():
+            provider = result.placement.provider(bb.bb_id)
+            resident = bb.vms()
+            expected_vcpus = sum(vm.flavor.vcpus for vm in resident)
+            assert provider.used[VCPU] == pytest.approx(expected_vcpus)
+            expected_mem = sum(vm.flavor.ram_mb for vm in resident)
+            assert provider.used[MEMORY_MB] == pytest.approx(expected_mem)
+
+    def test_no_capacity_overrun(self, result):
+        for provider in result.placement.providers():
+            for rc in (VCPU, MEMORY_MB):
+                assert provider.used[rc] <= provider.capacity(rc) + 1e-6
+
+    def test_scheduler_stats_consistent(self, result):
+        stats = result.scheduler_stats
+        assert stats["placed"] == stats["requests"] - stats["failed"]
+        assert result.created + result.rejected >= stats["requests"] - stats["failed"]
+
+
+class TestTelemetry:
+    def test_scrapes_recorded(self, result):
+        metric = "vrops_hostsystem_cpu_core_utilization_percentage"
+        n_nodes = result.region.node_count
+        assert result.store.series_count(metric) == n_nodes
+        some = next(iter(result.store.select(metric)))[1]
+        assert len(some) == 48  # 1 day / 1800 s
+
+    def test_nova_gauges_present(self, result):
+        assert result.store.series_count("openstack_compute_nodes_vcpus_gauge") == len(
+            list(result.region.iter_building_blocks())
+        )
+
+    def test_instances_total_nonnegative_and_bounded(self, result):
+        series = result.store.query(
+            "openstack_compute_instances_total", {"region": "test-region"}
+        )
+        assert series.values.min() >= 0
+        assert series.values.max() <= result.created
+
+
+class TestDrsIntegration:
+    def test_drs_only_touches_spread_bbs(self, result):
+        """Pack BBs are exempt from load balancing (memory residency)."""
+        for vm in result.region.iter_vms():
+            if vm.migrations > 0:
+                node = result.region.find_node(vm.node_id)
+                bb = result.region.find_building_block(node.building_block)
+                assert bb.policy == "spread"
+
+    def test_events_processed(self, result):
+        assert result.events_processed > 100

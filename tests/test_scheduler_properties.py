@@ -1,0 +1,112 @@
+"""Property-based tests on the scheduler + placement composition."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.infrastructure.flavors import default_catalog
+from repro.infrastructure.topology import build_region
+from repro.scheduler.pipeline import FilterScheduler, NoValidHost
+from repro.scheduler.placement import MEMORY_MB, VCPU, PlacementService
+from repro.scheduler.request import RequestSpec
+from tests.conftest import build_tiny_region_spec
+
+_CATALOG = default_catalog()
+_GENERAL = sorted(f.name for f in _CATALOG.by_family("general"))
+_HANA = sorted(
+    f.name for f in _CATALOG.by_family("hana") if f.spec("aggregate_class") == "hana"
+)
+
+#: A stream step: either place a flavor or delete the i-th oldest live VM.
+_step = st.one_of(
+    st.sampled_from(_GENERAL).map(lambda name: ("create", name)),
+    st.sampled_from(_HANA).map(lambda name: ("create", name)),
+    st.integers(min_value=0, max_value=5).map(lambda i: ("delete", i)),
+)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(stream=st.lists(_step, max_size=60))
+def test_property_allocation_conservation(stream):
+    """After any create/delete stream:
+
+    - placement ``used`` equals the sum of live VMs' requests exactly,
+    - no provider exceeds its capacity in any resource class,
+    - every live VM's allocation points at a provider that passed the
+      aggregate-exclusivity rules for its flavor.
+    """
+    region = build_region(build_tiny_region_spec())
+    placement = PlacementService()
+    for bb in region.iter_building_blocks():
+        placement.register_building_block(bb)
+    scheduler = FilterScheduler(region, placement)
+
+    live: dict[str, RequestSpec] = {}
+    counter = 0
+    for op, arg in stream:
+        if op == "create":
+            spec = RequestSpec(vm_id=f"vm-{counter}", flavor=_CATALOG.get(arg))
+            counter += 1
+            try:
+                scheduler.schedule(spec)
+                live[spec.vm_id] = spec
+            except NoValidHost:
+                pass
+        else:
+            if live:
+                vm_id = sorted(live)[arg % len(live)]
+                placement.release(vm_id)
+                del live[vm_id]
+
+    # Conservation per provider and per resource class.
+    expected_vcpus: dict[str, float] = {}
+    expected_mem: dict[str, float] = {}
+    for vm_id, spec in live.items():
+        allocation = placement.allocation_for(vm_id)
+        assert allocation is not None
+        expected_vcpus[allocation.provider_id] = (
+            expected_vcpus.get(allocation.provider_id, 0.0) + spec.flavor.vcpus
+        )
+        expected_mem[allocation.provider_id] = (
+            expected_mem.get(allocation.provider_id, 0.0) + spec.flavor.ram_mb
+        )
+        # Aggregate exclusivity honoured.
+        provider = placement.provider(allocation.provider_id)
+        wanted = spec.flavor.spec("aggregate_class") or ""
+        assert provider.aggregate_class == wanted
+
+    for provider in placement.providers():
+        assert provider.used.get(VCPU, 0.0) == pytest.approx(
+            expected_vcpus.get(provider.provider_id, 0.0)
+        )
+        assert provider.used.get(MEMORY_MB, 0.0) == pytest.approx(
+            expected_mem.get(provider.provider_id, 0.0)
+        )
+        for rc in (VCPU, MEMORY_MB):
+            assert provider.used.get(rc, 0.0) <= provider.capacity(rc) + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_scheduler_deterministic(seed):
+    """Identical regions + identical request streams = identical placements."""
+    rng = np.random.default_rng(seed)
+    names = rng.choice(_GENERAL, size=15)
+    placements = []
+    for _ in range(2):
+        region = build_region(build_tiny_region_spec())
+        placement = PlacementService()
+        for bb in region.iter_building_blocks():
+            placement.register_building_block(bb)
+        scheduler = FilterScheduler(region, placement)
+        hosts = []
+        for i, name in enumerate(names):
+            try:
+                result = scheduler.schedule(
+                    RequestSpec(vm_id=f"vm-{i}", flavor=_CATALOG.get(str(name)))
+                )
+                hosts.append(result.host_id)
+            except NoValidHost:
+                hosts.append(None)
+        placements.append(hosts)
+    assert placements[0] == placements[1]

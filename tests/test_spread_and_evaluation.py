@@ -1,0 +1,70 @@
+"""Tests for spread placement and packing-quality metrics."""
+
+import pytest
+
+from repro.baselines.binpacking import Item, first_fit
+from repro.baselines.evaluation import evaluate_packing
+from repro.baselines.spread import spread_pack
+from repro.infrastructure.capacity import Capacity
+
+BIN = Capacity(vcpus=10, memory_mb=10_000, disk_gb=100)
+
+
+def item(item_id, vcpus) -> Item:
+    return Item(item_id, Capacity(vcpus=vcpus, memory_mb=100, disk_gb=1))
+
+
+class TestSpread:
+    def test_distributes_evenly(self):
+        result = spread_pack([item(f"i{k}", 2) for k in range(8)], 4, BIN)
+        counts = [len(b.items) for b in result.bins]
+        assert counts == [2, 2, 2, 2]
+
+    def test_fixed_bin_count(self):
+        result = spread_pack([item("a", 1)], 5, BIN)
+        assert len(result.bins) == 5
+        assert result.bins_used == 1
+
+    def test_unplaceable_when_full(self):
+        items = [item(f"i{k}", 10) for k in range(3)]
+        result = spread_pack(items, 2, BIN)
+        assert len(result.unplaced) == 1
+
+    def test_invalid_bin_count(self):
+        with pytest.raises(ValueError):
+            spread_pack([], 0, BIN)
+
+
+class TestEvaluation:
+    def test_perfect_packing_metrics(self):
+        result = first_fit([item(f"i{k}", 10) for k in range(3)], BIN)
+        metrics = evaluate_packing(result)
+        assert metrics.bins_used == 3
+        assert metrics.mean_fill == pytest.approx(1.0)
+        assert metrics.fragmentation == pytest.approx(0.0)
+        assert metrics.lower_bound == 3
+        assert metrics.efficiency == pytest.approx(1.0)
+
+    def test_fragmented_packing_penalised(self):
+        spread = spread_pack([item(f"i{k}", 2) for k in range(4)], 4, BIN)
+        packed = first_fit([item(f"i{k}", 2) for k in range(4)], BIN)
+        m_spread = evaluate_packing(spread)
+        m_packed = evaluate_packing(packed)
+        assert m_spread.bins_used > m_packed.bins_used
+        assert m_spread.fragmentation > m_packed.fragmentation
+
+    def test_unplaced_counted(self):
+        result = first_fit([item("huge", 99)], BIN)
+        metrics = evaluate_packing(result)
+        assert metrics.items_unplaced == 1
+        assert metrics.items_placed == 0
+
+    def test_empty_packing(self):
+        metrics = evaluate_packing(first_fit([], BIN))
+        assert metrics.bins_used == 0
+        assert metrics.efficiency == 1.0
+
+    def test_fill_std_measures_imbalance(self):
+        balanced = spread_pack([item(f"i{k}", 5) for k in range(4)], 4, BIN)
+        skewed = first_fit([item(f"i{k}", 5) for k in range(4)], BIN)
+        assert evaluate_packing(balanced).fill_std <= evaluate_packing(skewed).fill_std + 1e-9

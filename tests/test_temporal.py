@@ -1,0 +1,82 @@
+"""Tests for the temporal-structure analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.temporal import (
+    classify_node_series,
+    diurnal_strength,
+    static_node_share,
+    temporal_summary,
+)
+from repro.telemetry.timeseries import TimeSeries
+
+
+def _series(values, step=3600.0):
+    return TimeSeries.regular(0, step, values)
+
+
+class TestClassification:
+    def test_flat_series_is_static(self):
+        series = _series(np.full(30 * 24, 40.0))
+        profile = classify_node_series("n", series)
+        assert profile.classification == "static"
+        assert profile.trend_pp_per_day == pytest.approx(0.0, abs=1e-9)
+
+    def test_drifting_series_is_trending(self):
+        """§5.1: some nodes show a consistent increase in CPU demand."""
+        hours = np.arange(30 * 24)
+        series = _series(20 + hours / 24.0 * 1.5)  # +1.5 pp/day
+        profile = classify_node_series("n", series)
+        assert profile.classification == "trending"
+        assert profile.trend_pp_per_day == pytest.approx(1.5, abs=0.1)
+
+    def test_noisy_series_is_fluctuating(self):
+        rng = np.random.default_rng(0)
+        days = np.repeat(rng.uniform(10, 90, 30), 24)
+        profile = classify_node_series("n", _series(days))
+        assert profile.classification == "fluctuating"
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            classify_node_series("n", _series([1.0]))
+
+
+class TestDatasetLevel:
+    def test_most_nodes_static(self, small_dataset):
+        """§7: 'resource utilization over most compute nodes is relatively
+        static within the considered time frame'."""
+        assert static_node_share(small_dataset) > 0.5
+
+    def test_summary_covers_all_nodes(self, small_dataset):
+        summary = temporal_summary(small_dataset)
+        total = int(np.sum(np.asarray(summary["node_count"], dtype=int)))
+        assert total == small_dataset.node_count
+        assert float(np.sum(np.asarray(summary["share"], dtype=float))) == pytest.approx(1.0)
+
+    def test_all_three_classes_reported(self, small_dataset):
+        summary = temporal_summary(small_dataset)
+        assert [str(c) for c in summary["classification"]] == [
+            "static", "trending", "fluctuating",
+        ]
+
+
+class TestDiurnalStrength:
+    def test_pure_diurnal_signal_near_one(self):
+        hours = np.arange(0, 7 * 86_400, 1800.0)
+        values = 50 + 30 * np.sin(2 * np.pi * hours / 86_400)
+        assert diurnal_strength(TimeSeries(hours, values)) > 0.95
+
+    def test_noise_near_zero(self):
+        rng = np.random.default_rng(1)
+        hours = np.arange(0, 7 * 86_400, 1800.0)
+        series = TimeSeries(hours, rng.uniform(0, 100, len(hours)))
+        assert diurnal_strength(series) < 0.2
+
+    def test_constant_is_zero(self):
+        hours = np.arange(0, 3 * 86_400, 1800.0)
+        assert diurnal_strength(TimeSeries(hours, np.full(len(hours), 5.0))) == 0.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            diurnal_strength(_series(np.ones(10)))

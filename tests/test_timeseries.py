@@ -1,0 +1,141 @@
+"""Tests for TimeSeries, including property-based resampling checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.telemetry.timeseries import SECONDS_PER_DAY, TimeSeries
+
+
+class TestConstruction:
+    def test_regular_grid(self):
+        ts = TimeSeries.regular(0, 10, [1, 2, 3])
+        assert list(ts.timestamps) == [0, 10, 20]
+
+    def test_regular_requires_positive_step(self):
+        with pytest.raises(ValueError):
+            TimeSeries.regular(0, 0, [1])
+
+    def test_non_increasing_timestamps_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            TimeSeries([0, 0], [1, 2])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries([0, 1], [1])
+
+    def test_empty(self):
+        assert len(TimeSeries.empty()) == 0
+
+
+class TestQueries:
+    @pytest.fixture
+    def series(self):
+        return TimeSeries.regular(100, 10, [5.0, 1.0, 3.0, 9.0])
+
+    def test_between_half_open(self, series):
+        out = series.between(110, 130)
+        assert list(out.timestamps) == [110, 120]
+
+    def test_at_or_before(self, series):
+        assert series.at_or_before(115) == 1.0
+        assert series.at_or_before(100) == 5.0
+        assert series.at_or_before(99) is None
+        assert series.at_or_before(1e9) == 9.0
+
+    def test_statistics(self, series):
+        assert series.mean() == pytest.approx(4.5)
+        assert series.max() == 9.0
+        assert series.min() == 1.0
+        assert series.percentile(50) == pytest.approx(4.0)
+
+    def test_stats_of_empty_raise(self):
+        empty = TimeSeries.empty()
+        for method in (empty.mean, empty.max, empty.min):
+            with pytest.raises(ValueError):
+                method()
+
+    def test_integral_trapezoid(self):
+        series = TimeSeries([0, 10], [1.0, 3.0])
+        assert series.integral() == pytest.approx(20.0)
+
+    def test_add_aligns_on_common_timestamps(self):
+        a = TimeSeries([0, 10, 20], [1, 1, 1])
+        b = TimeSeries([10, 20, 30], [2, 2, 2])
+        out = a + b
+        assert list(out.timestamps) == [10, 20]
+        assert list(out.values) == [3, 3]
+
+
+class TestResample:
+    def test_daily_mean(self):
+        ts = np.asarray([0, 3600, SECONDS_PER_DAY, SECONDS_PER_DAY + 1])
+        series = TimeSeries(ts, [1.0, 3.0, 10.0, 20.0])
+        daily = series.daily("mean")
+        assert list(daily.values) == [2.0, 15.0]
+
+    def test_daily_respects_origin(self):
+        series = TimeSeries([SECONDS_PER_DAY - 1, SECONDS_PER_DAY], [1.0, 5.0])
+        daily = series.daily("mean", origin=0.0)
+        assert len(daily) == 2
+
+    def test_resample_aggregations(self):
+        series = TimeSeries.regular(0, 1, [1, 2, 3, 4])
+        assert list(series.resample(2, "max").values) == [2, 4]
+        assert list(series.resample(2, "sum").values) == [3, 7]
+        assert list(series.resample(2, "count").values) == [2, 2]
+
+    def test_unknown_agg_raises(self):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            TimeSeries.regular(0, 1, [1]).resample(2, "bogus")
+
+    def test_resample_empty(self):
+        assert len(TimeSeries.empty().resample(10)) == 0
+
+    def test_clip_and_map(self):
+        series = TimeSeries.regular(0, 1, [-1, 0.5, 2])
+        assert list(series.clip(0, 1).values) == [0, 0.5, 1]
+        assert list(series.map(lambda v: v * 2).values) == [-2, 1.0, 4]
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    ),
+    window=st.integers(min_value=1, max_value=5000),
+)
+def test_property_resample_mean_within_bounds(values, window):
+    """Window means never exceed the original series' min/max."""
+    series = TimeSeries.regular(0, 60, values)
+    out = series.resample(window, "mean")
+    assert out.values.min() >= series.min() - 1e-9
+    assert out.values.max() <= series.max() + 1e-9
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    ),
+    window=st.integers(min_value=1, max_value=5000),
+)
+def test_property_resample_sum_preserves_total(values, window):
+    series = TimeSeries.regular(0, 60, values)
+    out = series.resample(window, "sum")
+    assert out.values.sum() == pytest.approx(series.values.sum(), rel=1e-9, abs=1e-6)
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        min_size=2,
+        max_size=100,
+    )
+)
+def test_property_between_full_range_is_identity(values):
+    series = TimeSeries.regular(0, 10, values)
+    out = series.between(0, series.timestamps[-1] + 1)
+    assert out == series

@@ -1,0 +1,103 @@
+"""Tests for topology building and the Table 5 reference data."""
+
+import pytest
+
+from repro.infrastructure.topology import (
+    BuildingBlockSpec,
+    DatacenterSpec,
+    TopologySpec,
+    build_region,
+    datacenter_spec_from_counts,
+    paper_datacenter_table,
+    paper_region_spec,
+)
+
+
+class TestBuildRegion:
+    def test_builds_from_spec(self, tiny_region_spec):
+        region = build_region(tiny_region_spec)
+        assert region.node_count == 12
+        assert set(region.azs) == {"az1", "az2"}
+
+    def test_node_ids_unique(self, tiny_region):
+        ids = [n.node_id for n in tiny_region.iter_nodes()]
+        assert len(ids) == len(set(ids))
+
+    def test_bb_spec_requires_nodes(self):
+        with pytest.raises(ValueError):
+            BuildingBlockSpec(bb_id="x", node_count=0)
+
+
+class TestDatacenterSpecFromCounts:
+    def test_node_count_preserved_approximately(self):
+        spec = datacenter_spec_from_counts("dc", "az", node_count=100)
+        total = sum(bb.node_count for bb in spec.building_blocks)
+        assert abs(total - 100) <= 4  # min-BB-size rounding only
+
+    def test_bb_sizes_in_paper_range(self):
+        """§3.1: building block sizes range from 2 to 128 nodes."""
+        spec = datacenter_spec_from_counts("dc", "az", node_count=500)
+        for bb in spec.building_blocks:
+            assert 2 <= bb.node_count <= 128
+
+    def test_has_hana_and_general_bbs(self):
+        spec = datacenter_spec_from_counts("dc", "az", node_count=60)
+        classes = {bb.aggregate_class for bb in spec.building_blocks}
+        assert "" in classes  # general purpose
+        assert any(c.startswith("hana") for c in classes)
+
+    def test_exactly_one_hana_xl_aggregate(self):
+        spec = datacenter_spec_from_counts("dc", "az", node_count=200)
+        xl = [b for b in spec.building_blocks if b.aggregate_class == "hana_xl"]
+        assert len(xl) == 1
+
+    def test_hana_bbs_pack_general_spread(self):
+        spec = datacenter_spec_from_counts("dc", "az", node_count=60)
+        for bb in spec.building_blocks:
+            if bb.aggregate_class.startswith("hana"):
+                assert bb.policy == "pack"
+            else:
+                assert bb.policy == "spread"
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(ValueError):
+            datacenter_spec_from_counts("dc", "az", node_count=0)
+
+
+class TestPaperRegionSpec:
+    def test_full_scale_matches_paper(self):
+        """The studied region: ~1,800 hypervisors across two DCs."""
+        region = build_region(paper_region_spec(scale=1.0))
+        assert 1700 <= region.node_count <= 1900
+        assert len(list(region.iter_datacenters())) == 2
+
+    def test_scaled_down(self):
+        region = build_region(paper_region_spec(scale=0.02))
+        assert 20 <= region.node_count <= 60
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            paper_region_spec(scale=0)
+
+
+class TestPaperTable5:
+    def test_29_datacenters(self):
+        assert len(paper_datacenter_table()) == 29
+
+    def test_totals_match_paper_scale(self):
+        """§3: >6,000 hypervisors and >200,000 VMs across the fleet."""
+        rows = paper_datacenter_table()
+        assert sum(r["hypervisors"] for r in rows) > 6000
+        assert sum(r["virtual_machines"] for r in rows) > 150_000
+
+    def test_studied_region_is_largest(self):
+        """Region 9 (751 + 1,072 nodes ≈ 1,800) is the studied deployment."""
+        rows = paper_datacenter_table()
+        region9 = [r for r in rows if r["region_id"] == 9]
+        assert sum(r["hypervisors"] for r in region9) == 1823
+
+    def test_dc_sizes_span_22_to_1072(self):
+        rows = paper_datacenter_table()
+        sizes = [r["hypervisors"] for r in rows]
+        assert min(sizes) == 22
+        assert max(sizes) == 1072

@@ -1,0 +1,55 @@
+"""Tests for the calibration-validation module."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.validation import CheckResult, ValidationReport, validate_dataset
+
+
+def test_default_dataset_passes_all_checks(small_dataset):
+    """The shipped configuration must satisfy every paper target."""
+    report = validate_dataset(small_dataset)
+    assert report.passed, report.render()
+
+
+def test_report_covers_all_figures(small_dataset):
+    report = validate_dataset(small_dataset)
+    names = {c.name.split(".")[0] for c in report.checks}
+    assert {"fig14a", "fig14b", "fig9", "fig5", "fig11", "fig13", "fig15",
+            "table1", "table2"} <= names
+
+
+def test_render_lists_every_check(small_dataset):
+    report = validate_dataset(small_dataset)
+    text = report.render()
+    assert text.count("[PASS]") + text.count("[FAIL]") == len(report.checks)
+    assert f"{len(report.checks)}/{len(report.checks)} calibration" in text
+
+
+def test_failures_detected_on_corrupted_dataset(small_dataset):
+    """Breaking the CPU ratios must flip the fig14a checks to FAIL."""
+    corrupted = small_dataset
+    original = corrupted.vms["cpu_avg_ratio"]
+    try:
+        # Everyone suddenly runs CPU-hot: overprovisioning disappears.
+        corrupted.vms._columns["cpu_avg_ratio"] = np.full(len(original), 0.95)
+        report = validate_dataset(corrupted)
+        assert not report.passed
+        failed_names = {c.name for c in report.failures}
+        assert "fig14a.cpu_underutilized_share" in failed_names
+    finally:
+        corrupted.vms._columns["cpu_avg_ratio"] = original
+
+
+def test_check_result_str():
+    check = CheckResult("x.y", passed=True, measured=0.5, expectation="in [0,1]")
+    assert "[PASS]" in str(check)
+    assert "x.y" in str(check)
+
+
+def test_report_properties():
+    good = CheckResult("a", True, 1.0, "")
+    bad = CheckResult("b", False, 2.0, "")
+    report = ValidationReport(checks=(good, bad))
+    assert not report.passed
+    assert report.failures == [bad]

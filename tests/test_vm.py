@@ -1,0 +1,73 @@
+"""Tests for the VM lifecycle state machine."""
+
+import pytest
+
+from repro.infrastructure.flavors import Flavor
+from repro.infrastructure.vm import VM, VMState
+
+
+@pytest.fixture
+def vm() -> VM:
+    return VM(vm_id="v1", flavor=Flavor("f", vcpus=2, ram_gib=8))
+
+
+def test_initial_state_is_requested(vm):
+    assert vm.state is VMState.REQUESTED
+    assert not vm.alive
+
+
+def test_happy_path_to_active(vm):
+    vm.transition(VMState.BUILDING)
+    vm.transition(VMState.ACTIVE)
+    assert vm.alive
+
+
+def test_illegal_transition_raises(vm):
+    with pytest.raises(ValueError, match="illegal VM state transition"):
+        vm.transition(VMState.ACTIVE)  # REQUESTED -> ACTIVE skips BUILDING
+
+
+def test_deleted_is_terminal(vm):
+    vm.transition(VMState.BUILDING)
+    vm.transition(VMState.ACTIVE)
+    vm.transition(VMState.DELETED)
+    with pytest.raises(ValueError):
+        vm.transition(VMState.ACTIVE)
+
+
+def test_migrating_returns_to_active(vm):
+    vm.transition(VMState.BUILDING)
+    vm.transition(VMState.ACTIVE)
+    vm.transition(VMState.MIGRATING)
+    assert vm.alive
+    vm.transition(VMState.ACTIVE)
+
+
+def test_error_can_only_be_deleted(vm):
+    vm.transition(VMState.ERROR)
+    with pytest.raises(ValueError):
+        vm.transition(VMState.BUILDING)
+    vm.transition(VMState.DELETED)
+
+
+def test_requested_capacity_comes_from_flavor(vm):
+    assert vm.requested().vcpus == 2
+    assert vm.requested().memory_mb == 8 * 1024
+
+
+def test_lifetime_with_deletion(vm):
+    vm.created_at = 100.0
+    vm.deleted_at = 400.0
+    assert vm.lifetime_seconds() == 300.0
+
+
+def test_lifetime_alive_requires_now(vm):
+    vm.created_at = 100.0
+    with pytest.raises(ValueError, match="alive"):
+        vm.lifetime_seconds()
+    assert vm.lifetime_seconds(now=150.0) == 50.0
+
+
+def test_lifetime_never_negative(vm):
+    vm.created_at = 100.0
+    assert vm.lifetime_seconds(now=50.0) == 0.0
