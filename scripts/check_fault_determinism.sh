@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Determinism smoke gate for the fault-injection subsystem.
+#
+# Runs the fault-scenario example twice per seed and fails if the
+# FaultReport JSON is not byte-identical (sha256 comparison).  Used by
+# the tier-1 CI job; runnable locally from the repo root:
+#
+#     sh scripts/check_fault_determinism.sh [seed ...]
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+seeds="${*:-7 23}"
+status=0
+
+for seed in $seeds; do
+    a=$(python examples/fault_scenarios.py --seed "$seed" --json-only | sha256sum | cut -d' ' -f1)
+    b=$(python examples/fault_scenarios.py --seed "$seed" --json-only | sha256sum | cut -d' ' -f1)
+    if [ "$a" = "$b" ]; then
+        echo "seed $seed: deterministic ($a)"
+    else
+        echo "seed $seed: NONDETERMINISTIC ($a != $b)" >&2
+        status=1
+    fi
+done
+
+exit $status

@@ -17,6 +17,10 @@ Subcommands::
     repro figure DIR fig5
         Render one of the paper's heatmap/CDF figures as terminal art.
 
+    repro faults [--days D] [--seed N] [--failure-rate R] [--out FILE]
+        Run a fault-injection scenario (host failures, migration aborts,
+        telemetry gaps) and print the deterministic FaultReport JSON.
+
 Run ``python -m repro.cli --help`` (or ``repro --help`` once installed).
 """
 
@@ -137,6 +141,44 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import FaultConfig
+    from repro.faults.scenario import ScenarioConfig, run_fault_scenario
+
+    config = ScenarioConfig(
+        building_blocks=args.bbs,
+        nodes_per_bb=args.nodes_per_bb,
+        duration_days=args.days,
+        seed=args.seed,
+        arrival_rate_per_hour=args.arrival_rate,
+        initial_vms=args.initial_vms,
+        faults=FaultConfig(
+            seed=args.fault_seed if args.fault_seed is not None else args.seed,
+            host_failure_rate_per_day=args.failure_rate,
+            repair_time_mean_s=args.repair_hours * 3600.0,
+            migration_abort_fraction=args.abort_fraction,
+            scrape_gap_probability=args.gap_probability,
+            stale_node_probability=args.stale_probability,
+            evac_max_retries=args.evac_retries,
+        ),
+    )
+    print(
+        f"Running fault scenario: {args.bbs} BBs x {args.nodes_per_bb} nodes, "
+        f"{args.days} days, seed {args.seed} ...",
+        file=sys.stderr,
+    )
+    result = run_fault_scenario(config)
+    report = result.fault_report
+    print(report.render(), file=sys.stderr)
+    payload = report.to_json()
+    if args.out:
+        Path(args.out).write_text(payload + "\n")
+        print(f"Wrote {args.out}", file=sys.stderr)
+    else:
+        print(payload)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser with every subcommand registered."""
     parser = argparse.ArgumentParser(
@@ -171,6 +213,31 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("dataset", help="dataset archive directory")
     figure.add_argument("figure", help="fig5|fig6|fig7|fig10..fig14")
     figure.set_defaults(func=_cmd_figure)
+
+    faults = sub.add_parser(
+        "faults", help="run a deterministic fault-injection scenario"
+    )
+    faults.add_argument("--days", type=float, default=1.0)
+    faults.add_argument("--seed", type=int, default=7, help="workload seed")
+    faults.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="injector seed (defaults to --seed)",
+    )
+    faults.add_argument("--bbs", type=int, default=3, help="building blocks")
+    faults.add_argument("--nodes-per-bb", type=int, default=4)
+    faults.add_argument("--arrival-rate", type=float, default=12.0,
+                        help="VM arrivals per hour")
+    faults.add_argument("--initial-vms", type=int, default=120)
+    faults.add_argument("--failure-rate", type=float, default=6.0,
+                        help="host failures per day, region-wide")
+    faults.add_argument("--repair-hours", type=float, default=4.0)
+    faults.add_argument("--abort-fraction", type=float, default=0.2,
+                        help="fraction of live migrations aborting mid-precopy")
+    faults.add_argument("--gap-probability", type=float, default=0.03)
+    faults.add_argument("--stale-probability", type=float, default=0.02)
+    faults.add_argument("--evac-retries", type=int, default=5)
+    faults.add_argument("--out", default=None, help="write report JSON here")
+    faults.set_defaults(func=_cmd_faults)
 
     query = sub.add_parser("query", help="evaluate a telemetry query")
     query.add_argument("dataset", help="dataset archive directory")

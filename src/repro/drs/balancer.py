@@ -64,9 +64,16 @@ class DrsBalancer:
     def node_load_fractions(
         self, bb: BuildingBlock, load_fn: LoadFn = _allocated_load
     ) -> dict[str, float]:
-        """Per-node load as a fraction of physical cores."""
+        """Per-node load as a fraction of physical cores.
+
+        Failed nodes are excluded: they carry no VMs and no usable
+        capacity, so counting their zero load would read as imbalance the
+        balancer can never fix (and must not "fix" by migrating onto them).
+        """
         fractions: dict[str, float] = {}
         for node in bb.iter_nodes():
+            if node.failed:
+                continue
             load = sum(load_fn(vm) for vm in node.vms.values())
             fractions[node.node_id] = (
                 load / node.physical.vcpus if node.physical.vcpus > 0 else 0.0
@@ -82,17 +89,33 @@ class DrsBalancer:
             return 0.0
         return float(np.std(fractions))
 
-    def run(self, bb: BuildingBlock, load_fn: LoadFn = _allocated_load) -> list[Migration]:
-        """One balancing pass; executes and returns migrations."""
+    def run(
+        self,
+        bb: BuildingBlock,
+        load_fn: LoadFn = _allocated_load,
+        fault_model=None,
+    ) -> list[Migration]:
+        """One balancing pass; executes and returns migrations.
+
+        ``fault_model`` (a :class:`repro.faults.MigrationFaultModel`) may
+        abort individual moves mid-precopy: the VM stays on its source and
+        is not retried within this pass.
+        """
         migrations: list[Migration] = []
+        aborted: set[str] = set()
         for _ in range(self.config.max_moves_per_run):
             current = self.imbalance(bb, load_fn)
             if current <= self.config.imbalance_threshold:
                 break
-            move = self._best_move(bb, load_fn, current)
+            move = self._best_move(bb, load_fn, current, exclude=aborted)
             if move is None:
                 break
             vm_id, source, target, load, improvement = move
+            if fault_model is not None and not fault_model.attempt(
+                vm_id, source.node_id, target.node_id
+            ):
+                aborted.add(vm_id)
+                continue
             vm = source.remove_vm(vm_id)
             target.add_vm(vm)
             vm.migrations += 1
@@ -108,12 +131,18 @@ class DrsBalancer:
         return migrations
 
     def _best_move(
-        self, bb: BuildingBlock, load_fn: LoadFn, current_imbalance: float
+        self,
+        bb: BuildingBlock,
+        load_fn: LoadFn,
+        current_imbalance: float,
+        exclude: set[str] = frozenset(),
     ) -> tuple[str, ComputeNode, ComputeNode, float, float] | None:
         """The single move with the largest imbalance improvement.
 
         Prefers light VMs: a heavy VM (above ``heavy_vm_cores``) is only
         chosen when no lighter candidate achieves the minimum improvement.
+        VMs in ``exclude`` (e.g. this pass's aborted migrations) and
+        unhealthy targets (failed or draining nodes) are never considered.
         """
         fractions = self.node_load_fractions(bb, load_fn)
         if len(fractions) < 2:
@@ -126,9 +155,11 @@ class DrsBalancer:
         best: tuple[str, ComputeNode, ComputeNode, float, float] | None = None
         best_light: tuple[str, ComputeNode, ComputeNode, float, float] | None = None
         for vm in source.vms.values():
+            if vm.vm_id in exclude:
+                continue
             load = load_fn(vm)
             for target in targets:
-                if target.node_id == source.node_id or target.maintenance:
+                if target.node_id == source.node_id or not target.healthy:
                     continue
                 if not vm.requested().fits_within(target.free(bb.overcommit)):
                     continue

@@ -1,0 +1,38 @@
+"""Seeded, deterministic fault injection for the regional simulation.
+
+The subsystem has five parts:
+
+- :class:`~repro.faults.config.FaultConfig` — hazard rates and recovery
+  knobs, one frozen dataclass;
+- :class:`~repro.faults.injector.FaultInjector` — schedules host failures
+  from a Poisson hazard and draws victims/repair times;
+- :class:`~repro.faults.migration.MigrationFaultModel` — aborts a seeded
+  fraction of live migrations mid-precopy;
+- :class:`~repro.faults.telemetry.TelemetryFaultModel` — scrape gaps and
+  stale-exporter injection for the metric pipeline;
+- :class:`~repro.faults.evacuation.EvacuationManager` — retries stranded
+  VMs through the scheduler with backoff, dead-lettering the unplaceable.
+
+Everything reports into one :class:`~repro.faults.report.FaultReport`,
+whose JSON rendering is byte-stable per seed.  ``repro.faults.scenario``
+(imported separately to avoid a cycle with the runner) packages a ready
+end-to-end scenario used by the CLI, the example, and the CI smoke test.
+"""
+
+from repro.faults.config import FaultConfig
+from repro.faults.evacuation import EvacuationManager
+from repro.faults.injector import FaultInjector
+from repro.faults.migration import AbortedMigration, MigrationFaultModel
+from repro.faults.report import DeadLetter, FaultReport
+from repro.faults.telemetry import TelemetryFaultModel
+
+__all__ = [
+    "AbortedMigration",
+    "DeadLetter",
+    "EvacuationManager",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultReport",
+    "MigrationFaultModel",
+    "TelemetryFaultModel",
+]

@@ -1,0 +1,75 @@
+"""Configuration for the fault-injection subsystem.
+
+All stochastic behaviour is driven by one seeded generator owned by the
+injector, so a :class:`FaultConfig` plus a topology plus a workload seed
+fully determines every injected fault — determinism is load-bearing for
+the dataset-regeneration pillar (same seed ⇒ byte-identical report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Hazard rates and recovery knobs for one simulated region.
+
+    Rates are region-wide expectations; individual victims are drawn
+    uniformly from the currently healthy nodes when each event fires.
+    """
+
+    #: Seed for the injector's private RNG (independent of the workload RNG
+    #: so enabling faults does not perturb the arrival stream).
+    seed: int = 23
+    #: Expected hard host failures per day across the region (Poisson).
+    host_failure_rate_per_day: float = 0.0
+    #: Mean time-to-repair for a failed host (exponential draw).
+    repair_time_mean_s: float = 6 * 3600.0
+    #: Floor on any repair draw (a reboot is never instantaneous).
+    repair_time_min_s: float = 600.0
+    #: Fraction of live migrations that abort mid-precopy and roll back.
+    migration_abort_fraction: float = 0.0
+    #: Probability that one whole scrape cycle is missed (exporter gap).
+    scrape_gap_probability: float = 0.0
+    #: Per-node-per-scrape probability of reporting staleness markers
+    #: instead of fresh samples (stuck exporter / stale cache).
+    stale_node_probability: float = 0.0
+    #: Evacuation attempts per stranded VM before dead-lettering.
+    evac_max_retries: int = 5
+    #: First retry backoff; later retries multiply by ``evac_backoff_factor``.
+    evac_backoff_base_s: float = 30.0
+    evac_backoff_factor: float = 2.0
+    #: Cap on evacuations launched in one batch; surplus VMs start one
+    #: ``evac_batch_spacing_s`` later per batch (bounded recovery bandwidth).
+    max_concurrent_evacuations: int = 8
+    evac_batch_spacing_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.host_failure_rate_per_day < 0:
+            raise ValueError("host_failure_rate_per_day must be >= 0")
+        if self.repair_time_mean_s <= 0 or self.repair_time_min_s < 0:
+            raise ValueError("repair times must be positive")
+        for name in ("migration_abort_fraction", "scrape_gap_probability",
+                     "stale_node_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        if self.evac_max_retries < 1:
+            raise ValueError("evac_max_retries must be >= 1")
+        if self.evac_backoff_base_s < 0 or self.evac_backoff_factor < 1.0:
+            raise ValueError("backoff base must be >= 0 and factor >= 1")
+        if self.max_concurrent_evacuations < 1:
+            raise ValueError("max_concurrent_evacuations must be >= 1")
+        if self.evac_batch_spacing_s < 0:
+            raise ValueError("evac_batch_spacing_s must be >= 0")
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether this config injects anything at all."""
+        return (
+            self.host_failure_rate_per_day > 0
+            or self.migration_abort_fraction > 0
+            or self.scrape_gap_probability > 0
+            or self.stale_node_probability > 0
+        )

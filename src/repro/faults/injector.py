@@ -1,0 +1,62 @@
+"""The FaultInjector: turns hazard rates into scheduled simulation events.
+
+Failure *times* are pre-drawn as a Poisson process when the scenario is
+set up; the *victim* of each failure is drawn when the event fires, from
+the nodes healthy at that moment.  Both draws come from the injector's
+private seeded RNG, so the full fault trace is a pure function of
+(config, topology, event order) and replays byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.faults.config import FaultConfig
+from repro.infrastructure.hierarchy import ComputeNode
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import HOST_FAIL
+
+
+class FaultInjector:
+    """Schedules host failures and draws repair times and victims."""
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self.scheduled_failures = 0
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule_host_failures(
+        self, engine: SimulationEngine, start: float, end: float
+    ) -> int:
+        """Enqueue HOST_FAIL events over [start, end); returns the count."""
+        rate_s = self.config.host_failure_rate_per_day / 86_400.0
+        if rate_s <= 0 or end <= start:
+            return 0
+        n = 0
+        t = start
+        while True:
+            t += float(self.rng.exponential(1.0 / rate_s))
+            if t >= end:
+                break
+            engine.schedule(t, HOST_FAIL)
+            n += 1
+        self.scheduled_failures += n
+        return n
+
+    # -- draws at fire time ----------------------------------------------------
+
+    def pick_victim(self, nodes: Iterable[ComputeNode]) -> ComputeNode | None:
+        """A uniformly random healthy node, or None if all are down."""
+        healthy = [n for n in nodes if n.healthy]
+        if not healthy:
+            return None
+        return healthy[int(self.rng.integers(0, len(healthy)))]
+
+    def draw_repair_time(self) -> float:
+        """Exponential time-to-repair, floored at the configured minimum."""
+        draw = float(self.rng.exponential(self.config.repair_time_mean_s))
+        return max(self.config.repair_time_min_s, draw)

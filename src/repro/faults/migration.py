@@ -1,0 +1,56 @@
+"""Live-migration fault model.
+
+A configurable fraction of live migrations abort mid-precopy — the source
+keeps running the VM, the destination discards the partially copied state,
+and any placement claim made for the destination must be rolled back
+atomically.  Real triggers include precopy non-convergence under memory
+pressure, migration-network congestion, and destination-host admission
+failures (§3.2's reluctance to migrate heavy VMs exists precisely because
+these aborts are common).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AbortedMigration:
+    """One migration that failed mid-precopy and was rolled back."""
+
+    vm_id: str
+    source: str
+    target: str
+
+
+class MigrationFaultModel:
+    """Seeded Bernoulli abort decisions, with bookkeeping.
+
+    Draw order is the call order of :meth:`attempt`, which the deterministic
+    event loop fixes, so replays with the same seed abort the same moves.
+    """
+
+    def __init__(
+        self,
+        abort_fraction: float = 0.0,
+        rng: np.random.Generator | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= abort_fraction <= 1.0:
+            raise ValueError("abort_fraction must be within [0, 1]")
+        self.abort_fraction = abort_fraction
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.attempted = 0
+        self.aborted = 0
+        self.abort_log: list[AbortedMigration] = []
+
+    def attempt(self, vm_id: str, source: str, target: str) -> bool:
+        """Record one migration attempt; returns False when it aborts."""
+        self.attempted += 1
+        if self.abort_fraction > 0.0 and float(self.rng.random()) < self.abort_fraction:
+            self.aborted += 1
+            self.abort_log.append(AbortedMigration(vm_id, source, target))
+            return False
+        return True

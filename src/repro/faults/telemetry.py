@@ -1,0 +1,58 @@
+"""Telemetry fault model: scrape gaps and stale node exporters.
+
+Two realistic degradations of the §4 measurement pipeline:
+
+- **scrape gap** — a whole scrape cycle produces nothing (Prometheus
+  restart, network partition to the exporters): no samples are ingested
+  for that timestamp, leaving an honest hole in every series;
+- **stale node** — one node's exporter answers but serves stale data (a
+  wedged vRops adapter): the ingested samples carry the staleness marker
+  (NaN) instead of fabricated values, so gap-aware queries can skip them
+  rather than silently interpolating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TelemetryFaultModel:
+    """Seeded per-scrape and per-node fault decisions."""
+
+    def __init__(
+        self,
+        gap_probability: float = 0.0,
+        stale_probability: float = 0.0,
+        rng: np.random.Generator | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= gap_probability <= 1.0:
+            raise ValueError("gap_probability must be within [0, 1]")
+        if not 0.0 <= stale_probability <= 1.0:
+            raise ValueError("stale_probability must be within [0, 1]")
+        self.gap_probability = gap_probability
+        self.stale_probability = stale_probability
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.gaps = 0
+        self.stale_scrapes = 0
+
+    def scrape_missed(self) -> bool:
+        """Decide whether this whole scrape cycle is lost."""
+        if self.gap_probability > 0.0 and float(self.rng.random()) < self.gap_probability:
+            self.gaps += 1
+            return True
+        return False
+
+    def node_is_stale(self, node_id: str) -> bool:
+        """Decide whether one node's exporter serves stale data this cycle.
+
+        Call once per node per scrape, in a fixed node order — the draw
+        sequence is part of the deterministic replay contract.
+        """
+        if (
+            self.stale_probability > 0.0
+            and float(self.rng.random()) < self.stale_probability
+        ):
+            self.stale_scrapes += 1
+            return True
+        return False

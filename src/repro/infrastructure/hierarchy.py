@@ -33,6 +33,14 @@ class ComputeNode:
     az: str = ""
     vms: dict[str, VM] = field(default_factory=dict)
     maintenance: bool = False
+    #: Hard failure (hypervisor down): resident VMs must be evacuated and no
+    #: new placements may land here until recovery clears the flag.
+    failed: bool = False
+
+    @property
+    def healthy(self) -> bool:
+        """Neither draining for maintenance nor failed."""
+        return not self.maintenance and not self.failed
 
     def allocated(self) -> Capacity:
         """Sum of resources requested by resident VMs."""
@@ -47,7 +55,7 @@ class ComputeNode:
 
     def can_host(self, vm: VM, policy: OvercommitPolicy) -> bool:
         """True when the VM's request fits this node under ``policy``."""
-        if self.maintenance:
+        if not self.healthy:
             return False
         return vm.requested().fits_within(self.free(policy))
 

@@ -31,7 +31,9 @@ _TRANSITIONS: dict[VMState, frozenset[VMState]] = {
     VMState.MIGRATING: frozenset({VMState.ACTIVE, VMState.ERROR}),
     VMState.RESIZING: frozenset({VMState.ACTIVE, VMState.ERROR}),
     VMState.DELETED: frozenset(),
-    VMState.ERROR: frozenset({VMState.DELETED}),
+    # ERROR -> BUILDING is the evacuation/rebuild path: a VM stranded by a
+    # host failure is rebuilt on a new host (Nova evacuate).
+    VMState.ERROR: frozenset({VMState.BUILDING, VMState.DELETED}),
 }
 
 

@@ -20,6 +20,8 @@ class RebalanceReport:
     intra_bb_migrations: int = 0
     cross_bb_migrations: int = 0
     skipped_moves: int = 0
+    #: Moves that started but aborted mid-precopy (allocations rolled back).
+    aborted_moves: int = 0
     imbalance_before: float = 0.0
     imbalance_after: float = 0.0
     total_transfer_mb: float = 0.0
@@ -39,11 +41,23 @@ class RebalanceDriver:
         placement: PlacementService | None = None,
         drs: DrsBalancer | None = None,
         planner: MigrationPlanner | None = None,
+        fault_model=None,
+        recovery_move_cap: int = 4,
     ) -> None:
+        """``fault_model`` is a :class:`repro.faults.MigrationFaultModel`.
+
+        ``recovery_move_cap`` bounds cross-BB migrations per pass while any
+        host in the DC is failed — recovery evacuations own the migration
+        network then, and rebalancing must not compete with them.
+        """
+        if recovery_move_cap < 0:
+            raise ValueError("recovery_move_cap must be >= 0")
         self.region = region
         self.placement = placement
         self.drs = drs or DrsBalancer()
         self.planner = planner or MigrationPlanner()
+        self.fault_model = fault_model
+        self.recovery_move_cap = recovery_move_cap
         self._node_bb = {
             node.node_id: bb.bb_id
             for bb in region.iter_building_blocks()
@@ -57,6 +71,8 @@ class RebalanceDriver:
             if bb.datacenter != datacenter or bb.aggregate_class:
                 continue
             for node in bb.iter_nodes():
+                if node.failed:
+                    continue  # no usable capacity; not an imbalance signal
                 load = sum(load_fn(vm) for vm in node.vms.values())
                 if node.physical.vcpus > 0:
                     fractions.append(load / node.physical.vcpus)
@@ -71,24 +87,35 @@ class RebalanceDriver:
         report = RebalanceReport(passes=1)
         report.imbalance_before = self.dc_imbalance(datacenter, load_fn)
 
+        aborted_before = self.fault_model.aborted if self.fault_model else 0
+
         # Layer 1: DRS inside every spread building block.
         for bb in self.region.iter_building_blocks():
             if bb.datacenter != datacenter or bb.policy == "pack":
                 continue
-            migrations = self.drs.run(bb, load_fn=load_fn)
+            migrations = self.drs.run(bb, load_fn=load_fn, fault_model=self.fault_model)
             report.intra_bb_migrations += len(migrations)
             for m in migrations:
                 report.history.append(
                     f"drs {m.vm_id}: {m.source_node} -> {m.target_node}"
                 )
 
-        # Layer 2: cost-aware moves across the DC's general BBs.
+        # Layer 2: cost-aware moves across the DC's general BBs.  While any
+        # host is down, recovery traffic has priority: cap this pass's moves.
+        move_budget = (
+            self.recovery_move_cap
+            if self._dc_has_failed_host(datacenter)
+            else None
+        )
         plan = self.planner.plan_cross_bb(
             self.region,
             datacenter,
             load_view=lambda vm: (load_fn(vm), 0.6),
         )
         for move in plan.moves:
+            if move_budget is not None and report.cross_bb_migrations >= move_budget:
+                report.skipped_moves += 1
+                continue
             if self._apply_move(move.vm_id, move.source_node, move.target_node):
                 report.cross_bb_migrations += 1
                 report.total_transfer_mb += move.estimate.transferred_mb
@@ -97,6 +124,9 @@ class RebalanceDriver:
                 )
             else:
                 report.skipped_moves += 1
+
+        if self.fault_model is not None:
+            report.aborted_moves = self.fault_model.aborted - aborted_before
 
         report.imbalance_after = self.dc_imbalance(datacenter, load_fn)
         return report
@@ -124,8 +154,22 @@ class RebalanceDriver:
         total.imbalance_after = self.dc_imbalance(datacenter, load_fn)
         return total
 
+    def _dc_has_failed_host(self, datacenter: str) -> bool:
+        return any(
+            node.failed
+            for bb in self.region.iter_building_blocks()
+            if bb.datacenter == datacenter
+            for node in bb.iter_nodes()
+        )
+
     def _apply_move(self, vm_id: str, source_id: str, target_id: str) -> bool:
-        """Execute one planned move against region (and placement) state."""
+        """Execute one planned move against region (and placement) state.
+
+        Never moves onto an unhealthy (failed or draining) node.  When the
+        fault model aborts the migration mid-precopy, any cross-BB claim
+        already made on the target is rolled back atomically and the VM
+        stays on its source.
+        """
         try:
             source = self.region.find_node(source_id)
             target = self.region.find_node(target_id)
@@ -133,13 +177,24 @@ class RebalanceDriver:
             return False
         if vm_id not in source.vms:
             return False
+        if not target.healthy:
+            return False
         source_bb = self._node_bb[source_id]
         target_bb = self._node_bb[target_id]
+        moved_claim = False
         if self.placement is not None and source_bb != target_bb:
             try:
                 self.placement.move(vm_id, target_bb)
             except AllocationError:
                 return False
+            moved_claim = True
+        if self.fault_model is not None and not self.fault_model.attempt(
+            vm_id, source_id, target_id
+        ):
+            # Abort mid-precopy: the source still runs the VM; undo the claim.
+            if moved_claim:
+                self.placement.move(vm_id, source_bb)
+            return False
         vm = source.remove_vm(vm_id)
         target.add_vm(vm)
         vm.migrations += 1

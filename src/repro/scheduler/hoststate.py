@@ -58,7 +58,9 @@ class HostState:
             total_disk_gb=provider.capacity(DISK_GB),
             num_instances=bb.vm_count,
             tenants=tenants,
-            enabled=not all(n.maintenance for n in bb.nodes.values()),
+            # A BB with no healthy member (all failed or draining) cannot
+            # accept placements: the MaintenanceFilter rejects it outright.
+            enabled=any(n.healthy for n in bb.nodes.values()),
         )
 
     def consume(self, vcpus: float, ram_mb: float, disk_gb: float) -> None:

@@ -131,17 +131,28 @@ class PlacementService:
 
         A consumer holds at most one allocation (Nova: one instance, one
         host); re-claiming without releasing first is an error.
+
+        The claim is exception-safe: every check — and the computation of
+        every class's new usage — happens before the first write, so a
+        failed claim leaves ``used`` untouched for *all* resource classes.
         """
         if consumer_id in self._allocations:
             raise AllocationError(f"consumer {consumer_id} already has an allocation")
         provider = self.provider(provider_id)
         amounts = _amounts_from_capacity(requested)
+        for rc, amount in amounts.items():
+            if not (amount >= 0.0):  # also rejects NaN
+                raise AllocationError(
+                    f"claim for {consumer_id} requests invalid {rc} amount {amount}"
+                )
         if not provider.fits(amounts):
             raise AllocationError(
                 f"claim for {consumer_id} does not fit on {provider_id}"
             )
-        for rc, amount in amounts.items():
-            provider.used[rc] = provider.used.get(rc, 0.0) + amount
+        staged = {
+            rc: provider.used.get(rc, 0.0) + amount for rc, amount in amounts.items()
+        }
+        provider.used.update(staged)
         allocation = Allocation(consumer_id, provider_id, amounts)
         self._allocations[consumer_id] = allocation
         return allocation

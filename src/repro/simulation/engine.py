@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -43,10 +44,19 @@ class SimulationEngine:
         self._handlers[kind] = handler
 
     def schedule(self, time: float, kind: str, **payload: Any) -> Event:
-        """Enqueue an event; past-dated events are an error."""
+        """Enqueue an event.
+
+        ``time == self.now`` is explicitly allowed: the event runs after the
+        currently executing handler, in scheduling order (same-time FIFO).
+        Past-dated times (a negative delay relative to ``now``) and NaN
+        times are errors — NaN would silently corrupt the heap ordering.
+        """
+        if math.isnan(time):
+            raise ValueError(f"cannot schedule {kind!r} at NaN time")
         if time < self.now:
             raise ValueError(
-                f"cannot schedule {kind!r} at {time} before current time {self.now}"
+                f"cannot schedule {kind!r} at {time} before current time "
+                f"{self.now} (negative delay)"
             )
         event = Event(time=time, seq=next(self._seq), kind=kind, payload=payload)
         heapq.heappush(self._queue, event)

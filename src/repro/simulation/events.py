@@ -13,6 +13,11 @@ SCRAPE = "telemetry.scrape"
 DRS_RUN = "drs.run"
 MAINT_START = "maintenance.start"
 MAINT_END = "maintenance.end"
+# Fault-injection events (repro.faults): a hypervisor dies, later recovers,
+# and each stranded VM is retried through the scheduler with backoff.
+HOST_FAIL = "host.fail"
+HOST_RECOVER = "host.recover"
+EVAC_RETRY = "evacuation.retry"
 
 ALL_KINDS = (
     VM_CREATE,
@@ -23,4 +28,7 @@ ALL_KINDS = (
     DRS_RUN,
     MAINT_START,
     MAINT_END,
+    HOST_FAIL,
+    HOST_RECOVER,
+    EVAC_RETRY,
 )

@@ -19,6 +19,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.drs.balancer import DrsBalancer, DrsConfig
+from repro.faults import (
+    EvacuationManager,
+    FaultConfig,
+    FaultInjector,
+    FaultReport,
+    MigrationFaultModel,
+    TelemetryFaultModel,
+)
 from repro.infrastructure.flavors import FlavorCatalog, default_catalog
 from repro.infrastructure.hierarchy import BuildingBlock, ComputeNode, Region
 from repro.infrastructure.topology import TopologySpec, build_region
@@ -29,6 +37,9 @@ from repro.scheduler.request import RequestSpec
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.events import (
     DRS_RUN,
+    EVAC_RETRY,
+    HOST_FAIL,
+    HOST_RECOVER,
     MAINT_END,
     MAINT_START,
     SCRAPE,
@@ -39,6 +50,7 @@ from repro.simulation.events import (
 from repro.simulation.hostsched import HostCpuModel
 from repro.telemetry.exporters import NodeUsage, NovaExporter, VropsExporter
 from repro.telemetry.store import MetricStore
+from repro.telemetry.timeseries import STALE
 from repro.workloads.demand import DemandModel, VMDemand
 from repro.workloads.lifetime import sample_lifetime
 from repro.workloads.profiles import profile_for_flavor
@@ -66,6 +78,9 @@ class SimulationConfig:
     #: Placement strategy: "nova" (BB-level filter/weigher pipeline) or
     #: "holistic" (node-level single-layer scheduler, §7).
     scheduler_factory: str = "nova"
+    #: Fault-injection knobs (host failures, migration aborts, telemetry
+    #: gaps); None runs the happy path with zero injection overhead.
+    faults: FaultConfig | None = None
 
 
 @dataclass
@@ -85,6 +100,7 @@ class SimulationResult:
     resized: int = 0
     resize_failed: int = 0
     maintenance_windows: int = 0
+    fault_report: FaultReport | None = None
 
 
 class RegionSimulation:
@@ -130,6 +146,31 @@ class RegionSimulation:
         self.engine.on(MAINT_START, self._handle_maintenance_start)
         self.engine.on(MAINT_END, self._handle_maintenance_end)
 
+        # -- fault injection (all None/inert when config.faults is unset) -----
+        faults = self.config.faults
+        self.fault_report: FaultReport | None = None
+        self.fault_injector: FaultInjector | None = None
+        self.evacuation: EvacuationManager | None = None
+        self.migration_faults: MigrationFaultModel | None = None
+        self.telemetry_faults: TelemetryFaultModel | None = None
+        if faults is not None:
+            self.fault_report = FaultReport(seed=faults.seed)
+            self.fault_injector = FaultInjector(faults)
+            self.evacuation = EvacuationManager(self, faults, self.fault_report)
+            # Each model owns an independent sub-seeded RNG so one fault
+            # class's draw volume cannot shift another's replay.
+            self.migration_faults = MigrationFaultModel(
+                faults.migration_abort_fraction, seed=faults.seed + 1
+            )
+            self.telemetry_faults = TelemetryFaultModel(
+                faults.scrape_gap_probability,
+                faults.stale_node_probability,
+                seed=faults.seed + 2,
+            )
+            self.engine.on(HOST_FAIL, self._handle_host_fail)
+            self.engine.on(HOST_RECOVER, self._handle_host_recover)
+            self.engine.on(EVAC_RETRY, self._handle_evac_retry)
+
         self.vms: dict[str, VM] = {}
         self.demands: dict[str, VMDemand] = {}
         self._vm_counter = 0
@@ -172,7 +213,14 @@ class RegionSimulation:
         while t < end:
             self.engine.schedule(t, DRS_RUN)
             t += self.config.drs_interval_s
+        if self.fault_injector is not None:
+            self.fault_injector.schedule_host_failures(self.engine, start, end)
         self.engine.run_until(end)
+        if self.fault_report is not None:
+            self.fault_report.migrations_attempted = self.migration_faults.attempted
+            self.fault_report.migrations_aborted = self.migration_faults.aborted
+            self.fault_report.scrape_gaps = self.telemetry_faults.gaps
+            self.fault_report.stale_node_scrapes = self.telemetry_faults.stale_scrapes
         return SimulationResult(
             region=self.region,
             store=self.store,
@@ -187,6 +235,7 @@ class RegionSimulation:
             resized=self.resized,
             resize_failed=self.resize_failed,
             maintenance_windows=self.maintenance_windows,
+            fault_report=self.fault_report,
         )
 
     # -- event handlers ----------------------------------------------------------
@@ -310,9 +359,28 @@ class RegionSimulation:
         )
         self.resized += 1
 
+    def _handle_host_fail(self, engine: SimulationEngine, event) -> None:
+        """A hypervisor dies: evacuate its VMs, schedule its repair."""
+        victim = self.fault_injector.pick_victim(self._node_index.values())
+        if victim is None:
+            return  # everything is already down or draining
+        self.evacuation.on_host_fail(engine, victim)
+        engine.schedule(
+            engine.now + self.fault_injector.draw_repair_time(),
+            HOST_RECOVER,
+            node_id=victim.node_id,
+        )
+
+    def _handle_host_recover(self, engine: SimulationEngine, event) -> None:
+        node = self._node_index[event.payload["node_id"]]
+        self.evacuation.on_host_recover(engine, node)
+
+    def _handle_evac_retry(self, engine: SimulationEngine, event) -> None:
+        self.evacuation.on_retry(engine, event)
+
     def _handle_maintenance_start(self, engine: SimulationEngine, event) -> None:
         """Drain a random node: placements avoid it until the window ends."""
-        nodes = [n for n in self._node_index.values() if not n.maintenance]
+        nodes = [n for n in self._node_index.values() if n.healthy]
         if not nodes:
             return
         node = nodes[int(self.rng.integers(0, len(nodes)))]
@@ -328,9 +396,29 @@ class RegionSimulation:
         self._node_index[event.payload["node_id"]].maintenance = False
 
     def _handle_scrape(self, engine: SimulationEngine, event) -> None:
+        if self.telemetry_faults is not None and self.telemetry_faults.scrape_missed():
+            return  # whole cycle lost: an honest hole in every series
         now = np.asarray([engine.now])
         samples = []
         for node in self._node_index.values():
+            if node.failed:
+                continue  # dead host, dead exporter: no samples at all
+            if self.telemetry_faults is not None and self.telemetry_faults.node_is_stale(
+                node.node_id
+            ):
+                # The exporter answered but its data is stale: keep the
+                # scrape timestamps, mark every value unknown.
+                usage = NodeUsage(
+                    cpu_used_fraction=STALE,
+                    memory_used_fraction=STALE,
+                    network_tx_kbps=STALE,
+                    network_rx_kbps=STALE,
+                    disk_used_gb=STALE,
+                    cpu_ready_ms=STALE,
+                    cpu_contention_fraction=STALE,
+                )
+                samples.extend(self.vrops.scrape_node(node, usage, engine.now))
+                continue
             cpu_demand = 0.0
             mem_mb = 0.0
             tx = rx = 0.0
@@ -375,7 +463,7 @@ class RegionSimulation:
         for bb in self._bb_index.values():
             if bb.policy == "pack":
                 continue  # DRS load-balancing is for spread BBs.
-            migrations = self.drs.run(bb, load_fn=load_fn)
+            migrations = self.drs.run(bb, load_fn=load_fn, fault_model=self.migration_faults)
             self.drs_migrations += len(migrations)
 
     # -- helpers ------------------------------------------------------------------
@@ -392,8 +480,7 @@ class RegionSimulation:
         fitting = [
             n
             for n in bb.iter_nodes()
-            if not n.maintenance
-            and flavor.requested().fits_within(n.free(bb.overcommit))
+            if n.healthy and flavor.requested().fits_within(n.free(bb.overcommit))
         ]
         if not fitting:
             return None

@@ -17,7 +17,14 @@ from repro.telemetry.timeseries import TimeSeries
 
 @dataclass(frozen=True, slots=True)
 class DownsampledChunk:
-    """Aggregates of one downsampling window."""
+    """Aggregates of one downsampling window.
+
+    ``count`` counts *observed* samples; staleness markers in the window
+    are tallied separately in ``stale_count`` and excluded from the
+    aggregates.  A window of pure markers keeps NaN aggregates — the
+    data was scraped but never observed, and downsampling must not
+    launder that into a number.
+    """
 
     start: float
     count: int
@@ -25,6 +32,7 @@ class DownsampledChunk:
     minimum: float
     maximum: float
     total: float
+    stale_count: int = 0
 
 
 def downsample(series: TimeSeries, window: float) -> list[DownsampledChunk]:
@@ -43,14 +51,30 @@ def downsample(series: TimeSeries, window: float) -> list[DownsampledChunk]:
     for b in np.unique(bins):
         mask = bins == b
         vals = series.values[mask]
+        finite = vals[~np.isnan(vals)]
+        stale = int(mask.sum()) - finite.size
+        if finite.size == 0:
+            chunks.append(
+                DownsampledChunk(
+                    start=origin + b * window,
+                    count=0,
+                    mean=float("nan"),
+                    minimum=float("nan"),
+                    maximum=float("nan"),
+                    total=0.0,
+                    stale_count=stale,
+                )
+            )
+            continue
         chunks.append(
             DownsampledChunk(
                 start=origin + b * window,
-                count=int(mask.sum()),
-                mean=float(np.mean(vals)),
-                minimum=float(np.min(vals)),
-                maximum=float(np.max(vals)),
-                total=float(np.sum(vals)),
+                count=int(finite.size),
+                mean=float(np.mean(finite)),
+                minimum=float(np.min(finite)),
+                maximum=float(np.max(finite)),
+                total=float(np.sum(finite)),
+                stale_count=stale,
             )
         )
     return chunks

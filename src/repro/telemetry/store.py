@@ -13,7 +13,7 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
-from repro.telemetry.timeseries import TimeSeries
+from repro.telemetry.timeseries import STALE, TimeSeries
 
 Labels = tuple[tuple[str, str], ...]
 
@@ -108,6 +108,19 @@ class MetricStore:
             buf = self._series[key] = _SeriesBuffer()
         buf.extend(series.timestamps, series.values)
 
+    def append_stale(
+        self,
+        metric: str,
+        labels: dict[str, str] | Labels | None,
+        timestamp: float,
+    ) -> None:
+        """Record that the series was scraped but its value is unknown.
+
+        Writes a staleness marker (Prometheus-style): queries and
+        downsampling skip it instead of fabricating a value.
+        """
+        self.append(metric, labels, timestamp, STALE)
+
     def ingest(self, samples: Iterable[Sample]) -> int:
         """Ingest samples from an exporter scrape; returns the count."""
         n = 0
@@ -192,7 +205,10 @@ class MetricStore:
         out = np.empty(len(union))
         for j in range(len(union)):
             col = values[:, j]
-            out[j] = agg_fn(col[~np.isnan(col)])
+            present = col[~np.isnan(col)]
+            # All matched series stale/absent here: propagate the marker
+            # rather than aggregating an empty set.
+            out[j] = agg_fn(present) if present.size else STALE
         return TimeSeries(union, out)
 
 

@@ -14,6 +14,17 @@ import numpy as np
 
 SECONDS_PER_DAY = 86_400
 
+#: Staleness marker, following Prometheus: a sample whose *timestamp* is
+#: real but whose value is explicitly "unknown" (stuck exporter, partial
+#: scrape).  Stored as NaN; all statistics skip markers rather than
+#: interpolating values that were never observed.
+STALE = float("nan")
+
+
+def is_stale(value: float) -> bool:
+    """Whether ``value`` is the staleness marker."""
+    return bool(np.isnan(value))
+
 
 class TimeSeries:
     """An immutable (by convention) timestamped value sequence."""
@@ -74,43 +85,70 @@ class TimeSeries:
         return TimeSeries(self.timestamps[mask], self.values[mask])
 
     def at_or_before(self, t: float) -> float | None:
-        """Most recent value at or before ``t`` (Prometheus instant query)."""
+        """Most recent value at or before ``t`` (Prometheus instant query).
+
+        A staleness marker at that position returns ``None`` — the series
+        explicitly does not know its value there, and inventing one by
+        looking further back would be silent interpolation.
+        """
         idx = np.searchsorted(self.timestamps, t, side="right") - 1
         if idx < 0:
             return None
-        return float(self.values[idx])
+        value = float(self.values[idx])
+        return None if np.isnan(value) else value
+
+    # -- staleness ---------------------------------------------------------------
+
+    @property
+    def stale_count(self) -> int:
+        """Number of staleness markers in the series."""
+        return int(np.isnan(self.values).sum())
+
+    def present(self) -> "TimeSeries":
+        """The sub-series of actually observed (non-stale) samples."""
+        mask = ~np.isnan(self.values)
+        return TimeSeries(self.timestamps[mask], self.values[mask])
 
     # -- statistics -------------------------------------------------------------
 
+    def _observed(self, what: str) -> np.ndarray:
+        """Finite values for statistics; raises when nothing was observed."""
+        finite = self.values[~np.isnan(self.values)]
+        if finite.size == 0:
+            raise ValueError(f"{what} of series with no observed samples")
+        return finite
+
     def mean(self) -> float:
-        """Arithmetic mean of the values (raises on empty)."""
-        if len(self) == 0:
-            raise ValueError("mean of empty series")
-        return float(np.mean(self.values))
+        """Mean of the observed values (staleness markers are skipped)."""
+        return float(np.mean(self._observed("mean")))
 
     def max(self) -> float:
-        """Largest value (raises on empty)."""
-        if len(self) == 0:
-            raise ValueError("max of empty series")
-        return float(np.max(self.values))
+        """Largest observed value (staleness markers are skipped)."""
+        return float(np.max(self._observed("max")))
 
     def min(self) -> float:
-        """Smallest value (raises on empty)."""
-        if len(self) == 0:
-            raise ValueError("min of empty series")
-        return float(np.min(self.values))
+        """Smallest observed value (staleness markers are skipped)."""
+        return float(np.min(self._observed("min")))
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile of the values (raises on empty)."""
-        if len(self) == 0:
-            raise ValueError("percentile of empty series")
-        return float(np.percentile(self.values, q))
+        """The ``q``-th percentile of the observed values."""
+        return float(np.percentile(self._observed("percentile"), q))
 
     def integral(self) -> float:
-        """Trapezoidal time-integral of the series (value·seconds)."""
+        """Trapezoidal time-integral of the series (value·seconds).
+
+        Only intervals whose *both* endpoints were observed contribute;
+        intervals touching a staleness marker add nothing, so the result
+        honestly under-counts across gaps instead of interpolating them.
+        """
         if len(self) < 2:
             return 0.0
-        return float(np.trapezoid(self.values, self.timestamps))
+        if self.stale_count == 0:
+            return float(np.trapezoid(self.values, self.timestamps))
+        observed = ~np.isnan(self.values)
+        both_ends = observed[:-1] & observed[1:]
+        areas = (self.values[:-1] + self.values[1:]) / 2.0 * np.diff(self.timestamps)
+        return float(np.sum(areas[both_ends]))
 
     # -- transforms ---------------------------------------------------------------
 
@@ -149,8 +187,15 @@ class TimeSeries:
         out_vs: list[float] = []
         for b in np.unique(bins):
             mask = bins == b
+            vals = self.values[mask]
+            finite = vals[~np.isnan(vals)]
             out_ts.append(origin + b * window)
-            out_vs.append(agg_fn(self.values[mask]))
+            if finite.size == 0:
+                # A window of pure staleness markers stays marked stale
+                # (count honestly reports zero observed samples).
+                out_vs.append(0.0 if agg == "count" else STALE)
+            else:
+                out_vs.append(agg_fn(finite))
         return TimeSeries(np.asarray(out_ts), np.asarray(out_vs))
 
     def align_with(self, other: "TimeSeries") -> tuple[np.ndarray, np.ndarray, np.ndarray]:

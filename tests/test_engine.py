@@ -65,6 +65,37 @@ def test_schedule_in_past_rejected():
         engine.schedule(50, "e")
 
 
+def test_schedule_at_current_time_allowed():
+    """time == now is legal: the event runs this instant, after the queue head."""
+    engine = SimulationEngine(start_time=100)
+    seen = []
+    engine.on("e", lambda eng, ev: seen.append(eng.now))
+    engine.schedule(100, "e")
+    engine.run()
+    assert seen == [100]
+
+
+def test_handler_may_schedule_at_now():
+    engine = SimulationEngine()
+    seen = []
+
+    def handler(eng, ev):
+        seen.append(ev.payload["tag"])
+        if ev.payload["tag"] == "a":
+            eng.schedule(eng.now, "e", tag="b")
+
+    engine.on("e", handler)
+    engine.schedule(10, "e", tag="a")
+    engine.run()
+    assert seen == ["a", "b"]
+
+
+def test_schedule_nan_time_rejected():
+    engine = SimulationEngine()
+    with pytest.raises(ValueError, match="NaN"):
+        engine.schedule(float("nan"), "e")
+
+
 def test_missing_handler_raises():
     engine = SimulationEngine()
     engine.schedule(1, "unknown")

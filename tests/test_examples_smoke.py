@@ -34,7 +34,15 @@ def test_examples_directory_complete():
         "qos_placement.py",
         "capacity_energy.py",
         "rebalancing.py",
+        "fault_scenarios.py",
     } <= names
+
+
+def test_fault_scenarios_example_runs_deterministically():
+    first = _run("fault_scenarios.py", "--days", "0.25", "--json-only")
+    assert first.returncode == 0, first.stderr
+    second = _run("fault_scenarios.py", "--days", "0.25", "--json-only")
+    assert first.stdout == second.stdout  # same seed, byte-identical report
 
 
 def test_rebalancing_example_runs():

@@ -1,0 +1,68 @@
+"""Determinism of fault injection: same seed, byte-identical replay.
+
+This is the tier-1 embodiment of the CI smoke gate
+(``scripts/check_fault_determinism.sh``): two independent runs of the
+same seeded scenario must hash identically, and hypothesis replays
+randomly seeded event streams end to end.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultConfig
+from repro.faults.scenario import ScenarioConfig, run_fault_scenario
+
+
+def _chaos_config(workload_seed: int, fault_seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        building_blocks=2,
+        nodes_per_bb=2,
+        duration_days=0.25,
+        seed=workload_seed,
+        arrival_rate_per_hour=6.0,
+        initial_vms=30,
+        scrape_interval_s=1800.0,
+        drs_interval_s=3600.0,
+        faults=FaultConfig(
+            seed=fault_seed,
+            host_failure_rate_per_day=24.0,
+            migration_abort_fraction=0.3,
+            scrape_gap_probability=0.05,
+            stale_node_probability=0.05,
+            evac_backoff_base_s=15.0,
+        ),
+    )
+
+
+def _report_sha256(config: ScenarioConfig) -> str:
+    payload = run_fault_scenario(config).fault_report.to_json()
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("seed", [7, 23])
+def test_same_seed_hashes_identically(seed):
+    config = _chaos_config(seed, seed)
+    assert _report_sha256(config) == _report_sha256(config)
+
+
+def test_different_fault_seed_changes_the_report():
+    base = run_fault_scenario(_chaos_config(7, 1)).fault_report
+    other = run_fault_scenario(_chaos_config(7, 2)).fault_report
+    assert base.to_json() != other.to_json()
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_property_seeded_replay_is_identical(seed):
+    """Any seed pair replays to the same counters AND the same report."""
+    config = _chaos_config(seed % 50, seed)
+    first = run_fault_scenario(config)
+    second = run_fault_scenario(config)
+    assert first.fault_report.to_json() == second.fault_report.to_json()
+    assert first.created == second.created
+    assert first.deleted == second.deleted
+    assert first.rejected == second.rejected
+    assert first.drs_migrations == second.drs_migrations
+    assert first.events_processed == second.events_processed

@@ -110,6 +110,38 @@ class TestScheduling:
         result = scheduler.schedule(spec)
         assert result.host_id != best
 
+    def test_host_failing_between_filter_and_claim_uses_alternate(
+        self, scheduler, catalog, monkeypatch
+    ):
+        """The top-ranked host dies after filtering: the claim raises, the
+        scheduler retries with the host excluded and lands on an alternate."""
+        from repro.scheduler.placement import AllocationError
+
+        spec = request(catalog)
+        ranked, _counts = scheduler.select_destinations(spec)
+        doomed = ranked[0][0].host_id
+        real_claim = scheduler.placement.claim
+        failures = {"count": 0}
+
+        def failing_claim(consumer_id, provider_id, requested):
+            if provider_id == doomed and failures["count"] == 0:
+                failures["count"] += 1
+                raise AllocationError(f"host {provider_id} went down")
+            return real_claim(consumer_id, provider_id, requested)
+
+        monkeypatch.setattr(scheduler.placement, "claim", failing_claim)
+        result = scheduler.schedule(spec)
+        assert result.host_id != doomed
+        assert result.attempts == 2
+        assert scheduler.stats["retries"] == 1
+        assert scheduler.stats["placed"] == 1
+        allocation = scheduler.placement.allocation_for("v1")
+        assert allocation.provider_id == result.host_id
+        # Nothing was ever booked on the host that failed.
+        assert all(
+            v == 0.0 for v in scheduler.placement.provider(doomed).used.values()
+        )
+
     def test_max_attempts_bounds_retries(self, tiny_region, catalog):
         placement = PlacementService()
         for bb in tiny_region.iter_building_blocks():

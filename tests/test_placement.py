@@ -105,6 +105,33 @@ class TestClaims:
             placement.move("c1", "dc2-gp-00")
         assert placement.allocation_for("c1").provider_id == "dc1-gp-00"
 
+    def test_failed_claim_leaves_every_class_untouched(self, placement):
+        """A multi-class claim that fails must not book anything — including
+        on a zero-total inventory, where even a transient write would leak."""
+        provider = placement.provider("dc1-gp-00")
+        provider.set_inventory(DISK_GB, total=0)
+        placement.claim(
+            "c0", "dc1-gp-00", Capacity(vcpus=4, memory_mb=4096, disk_gb=0)
+        )
+        before = dict(provider.used)
+        with pytest.raises(AllocationError, match="does not fit"):
+            placement.claim(
+                "c1", "dc1-gp-00", Capacity(vcpus=8, memory_mb=8192, disk_gb=1)
+            )
+        assert provider.used == before
+        assert placement.allocation_for("c1") is None
+
+    def test_nan_claim_rejected_without_booking(self, placement):
+        provider = placement.provider("dc1-gp-00")
+        with pytest.raises(AllocationError, match="invalid"):
+            placement.claim(
+                "c1",
+                "dc1-gp-00",
+                Capacity(vcpus=float("nan"), memory_mb=1024, disk_gb=1),
+            )
+        assert all(v == 0.0 for v in provider.used.values())
+        assert placement.allocation_for("c1") is None
+
     def test_allocations_on(self, placement):
         placement.claim("c1", "dc1-gp-00", self.REQ)
         placement.claim("c2", "dc1-gp-00", self.REQ)

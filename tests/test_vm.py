@@ -43,11 +43,21 @@ def test_migrating_returns_to_active(vm):
     vm.transition(VMState.ACTIVE)
 
 
-def test_error_can_only_be_deleted(vm):
+def test_error_allows_rebuild_or_delete(vm):
+    """ERROR exits via deletion or the evacuation rebuild path (Nova
+    evacuate: rebuild the stranded instance on a new host)."""
     vm.transition(VMState.ERROR)
     with pytest.raises(ValueError):
-        vm.transition(VMState.BUILDING)
+        vm.transition(VMState.ACTIVE)  # must rebuild first
+    vm.transition(VMState.BUILDING)
+    vm.transition(VMState.ACTIVE)
+    assert vm.alive
+
+
+def test_error_can_be_deleted(vm):
+    vm.transition(VMState.ERROR)
     vm.transition(VMState.DELETED)
+    assert not vm.alive
 
 
 def test_requested_capacity_comes_from_flavor(vm):
