@@ -13,6 +13,7 @@ import numpy as np
 from repro.forecasting.proactive import CPU_METRIC, ForecastWeigher, forecast_host_load
 from repro.infrastructure.flavors import default_catalog
 from repro.infrastructure.topology import build_region, paper_region_spec
+from repro.scheduler.config import SchedulerConfig
 from repro.scheduler.pipeline import FilterScheduler
 from repro.scheduler.placement import PlacementService
 from repro.scheduler.policies import spread_policy_weighers
@@ -71,7 +72,9 @@ def test_proactive_diverts_from_trending_host(benchmark):
             placement2.register_building_block(bb)
         peaks = forecast_host_load(store, horizon_steps=48)
         weighers = spread_policy_weighers() + [ForecastWeigher(peaks, 3.0)]
-        scheduler = FilterScheduler(region2, placement2, weighers=weighers)
+        scheduler = FilterScheduler(
+            region2, placement2, SchedulerConfig(weighers=weighers)
+        )
         hosts = [scheduler.schedule(spec).host_id for spec in requests]
         return hosts, peaks
 

@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Deprecation gate: no first-party code may use the APIs this repo has
+# deprecated behind shims.
+#
+#   * FilterScheduler(filters=/weighers=/max_attempts=/alternates=) —
+#     pass a SchedulerConfig instead.
+#   * MetricStore.query_range(...) — use repro.telemetry.query.query_range
+#     (or MetricStore.window).
+#
+# Scans src/, examples/, benchmarks/, and scripts/.  tests/ is excluded
+# deliberately: the shims' deprecation behaviour is itself under test
+# there.  The shim definitions and the query front-end are allowlisted.
+#
+#     sh scripts/check_api_deprecations.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+status=0
+
+# Legacy FilterScheduler keyword construction.  The shim definition in
+# pipeline.py and this script's own comments are allowlisted.
+hits=$(grep -rnE 'FilterScheduler\([^)]*\b(filters|weighers|max_attempts|alternates)=' \
+    src examples benchmarks scripts 2>/dev/null |
+    grep -v 'src/repro/scheduler/pipeline.py' |
+    grep -v 'scripts/check_api_deprecations.sh' || true)
+if [ -n "$hits" ]; then
+    echo "Deprecated FilterScheduler kwargs found (use SchedulerConfig):" >&2
+    echo "$hits" >&2
+    status=1
+fi
+
+# Store-level query_range calls outside the shim and the query front-end.
+hits=$(grep -rnE '\.query_range\(' src examples benchmarks scripts 2>/dev/null |
+    grep -v 'src/repro/telemetry/store.py' |
+    grep -v 'src/repro/telemetry/query.py' |
+    grep -v 'scripts/check_api_deprecations.sh' || true)
+if [ -n "$hits" ]; then
+    echo "Deprecated MetricStore.query_range calls found (use repro.telemetry.query):" >&2
+    echo "$hits" >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "No deprecated API usage found."
+fi
+exit $status

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Run the performance bench harness (`repro bench`) from the repo root.
+#
+# Usage:
+#     sh scripts/run_bench.sh            # full run, writes BENCH_scale.json
+#     sh scripts/run_bench.sh --smoke --check   # CI-sized non-regression gate
+#
+# All arguments are passed through to `repro bench` (see `repro bench -h`).
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+exec python -m repro.cli bench "$@"

@@ -1,0 +1,336 @@
+"""Performance benchmark harness: ``repro bench``.
+
+Times the simulator's three hot paths on seeded, reproducible workloads
+and writes ``BENCH_scale.json`` — the repo's perf trajectory artifact:
+
+1. **Schedule throughput** — a Table 1/2-shaped request stream replayed
+   through the FilterScheduler at scale 0.05 (~92 nodes), measured on the
+   indexed fast path *and* on the legacy rebuild-per-request path, so the
+   speedup ratio is machine-independent.  The two paths must produce
+   identical placements (recorded as ``placements_identical``).
+2. **Telemetry ingest** — 20 scrape cycles of vROps + Nova exporter
+   output, measured through the per-sample ``ingest()`` loop and the
+   columnar ``ingest_blocks()`` path.
+3. **DRS round latency and a seeded regional simulation** — wall time of
+   one DRS round over a populated scale-0.02 region, and of a multi-day
+   end-to-end run (30 days in full mode).
+
+The frozen pre-PR baseline (measured on the same workloads at the commit
+before the performance overhaul) ships in :data:`PRE_PR_BASELINE`, so
+``*_speedup_vs_baseline`` keys are comparable run-over-run on the same
+host; CI's smoke job instead asserts the in-run ratios, which do not
+depend on the host at all.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.datagen.population import FLAVOR_MIX
+from repro.infrastructure.flavors import default_catalog
+from repro.infrastructure.topology import build_region, paper_region_spec
+from repro.scheduler.config import SchedulerConfig
+from repro.scheduler.pipeline import FilterScheduler, NoValidHost
+from repro.scheduler.placement import PlacementService
+from repro.scheduler.request import RequestSpec
+from repro.scheduler.stats import stats_of
+from repro.telemetry.exporters import NodeUsage, NovaExporter, VropsExporter
+from repro.telemetry.store import MetricStore
+
+#: Pre-PR numbers for the exact workloads below (scale 0.05, 600 requests,
+#: 20 ingest cycles, 30-day scale-0.02 simulation), measured at the commit
+#: preceding the performance overhaul on the reference dev container.
+#: Cross-host comparisons are indicative only; the in-run ``*_vs_legacy``
+#: ratios are the portable signal.
+PRE_PR_BASELINE = {
+    "schedule_requests_per_s": 7432.0,
+    "telemetry_ingest_samples_per_s": 1194873.0,
+    "drs_round_latency_s": 0.1604,
+    "sim_30day_wall_s": 751.5,
+    "peak_rss_kb": 83024,
+}
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs for one ``repro bench`` run."""
+
+    scale: float = 0.05
+    requests: int = 600
+    ingest_cycles: int = 20
+    rounds: int = 3
+    sim_scale: float = 0.02
+    sim_days: float = 30.0
+    sim_initial_vms: int = 150
+    sim_arrival_rate_per_hour: float = 6.0
+    seed: int = 1
+    sim_seed: int = 7
+    run_sim: bool = True
+
+    @classmethod
+    def smoke(cls) -> "BenchConfig":
+        """CI-sized config: same workloads, minutes-to-seconds runtime.
+
+        The ingest stage keeps its full 20 cycles — it runs in
+        milliseconds, and shrinking it would shrink the per-series blocks
+        until fixed per-block cost drowns the columnar advantage the
+        smoke check asserts.
+        """
+        return cls(
+            requests=200,
+            rounds=2,
+            sim_days=1.0,
+            sim_initial_vms=60,
+            sim_arrival_rate_per_hour=4.0,
+        )
+
+
+def _request_stream(n: int, seed: int) -> list[RequestSpec]:
+    catalog = default_catalog()
+    rng = np.random.default_rng(seed)
+    names = [name for name, w in FLAVOR_MIX if w > 0]
+    weights = np.asarray([w for _, w in FLAVOR_MIX if w > 0], dtype=float)
+    weights = weights / weights.sum()
+    picks = rng.choice(len(names), size=n, p=weights)
+    return [
+        RequestSpec(vm_id=f"vm-{i:05d}", flavor=catalog.get(names[int(p)]))
+        for i, p in enumerate(picks)
+    ]
+
+
+def _replay(
+    config: BenchConfig, requests: list[RequestSpec], scheduler_config: SchedulerConfig
+) -> tuple[float, dict[str, str], dict[str, int]]:
+    """Best wall time over ``rounds`` replays; returns placements and stats."""
+    best = None
+    placements: dict[str, str] = {}
+    stats: dict[str, int] = {}
+    for _ in range(config.rounds):
+        region = build_region(paper_region_spec(scale=config.scale))
+        placement = PlacementService()
+        for bb in region.iter_building_blocks():
+            placement.register_building_block(bb)
+        scheduler = FilterScheduler(region, placement, scheduler_config)
+        t0 = time.perf_counter()
+        for spec in requests:
+            try:
+                scheduler.schedule(spec)
+            except NoValidHost:
+                pass
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+        placements = {
+            spec.vm_id: (
+                allocation.provider_id
+                if (allocation := placement.allocation_for(spec.vm_id)) is not None
+                else ""
+            )
+            for spec in requests
+        }
+        stats = stats_of(scheduler)
+    return float(best), placements, stats
+
+
+def bench_schedule(config: BenchConfig) -> dict:
+    """Schedule-throughput on the indexed fast path vs the legacy path."""
+    requests = _request_stream(config.requests, config.seed)
+    fast = SchedulerConfig(track_filter_counts=False, use_index=True)
+    legacy = SchedulerConfig(track_filter_counts=True, use_index=False)
+    fast_s, fast_placements, fast_stats = _replay(config, requests, fast)
+    legacy_s, legacy_placements, _ = _replay(config, requests, legacy)
+    n = len(requests)
+    return {
+        "schedule_requests": n,
+        "schedule_requests_per_s": n / fast_s,
+        "schedule_requests_per_s_legacy": n / legacy_s,
+        "schedule_speedup_vs_legacy": legacy_s / fast_s,
+        "placements_identical": fast_placements == legacy_placements,
+        "schedule_stats": fast_stats,
+    }
+
+
+def _scrape_workload(config: BenchConfig):
+    """The per-sample and columnar forms of the same scrape traffic."""
+    region = build_region(paper_region_spec(scale=config.scale))
+    vrops, nova = VropsExporter(), NovaExporter()
+    usage = NodeUsage(0.4, 0.5, 100.0, 80.0, 50.0, 12.0, 0.02)
+    nodes = list(region.iter_nodes())
+    timestamps = [900.0 * cycle for cycle in range(config.ingest_cycles)]
+    samples = []
+    for t in timestamps:
+        for node in nodes:
+            samples.extend(vrops.scrape_node(node, usage, t))
+        samples.extend(nova.scrape_region(region, t))
+    usages = [usage] * len(timestamps)
+    blocks = []
+    for node in nodes:
+        blocks.extend(vrops.scrape_node_window(node, usages, timestamps))
+    nova_samples = []
+    for t in timestamps:
+        nova_samples.extend(nova.scrape_region(region, t))
+    return samples, blocks, nova_samples
+
+
+def bench_ingest(config: BenchConfig) -> dict:
+    """Telemetry ingest rate: per-sample loop vs columnar blocks."""
+    samples, blocks, nova_samples = _scrape_workload(config)
+    per_sample_best = None
+    for _ in range(config.rounds):
+        store = MetricStore()
+        t0 = time.perf_counter()
+        n_per_sample = store.ingest(samples)
+        elapsed = time.perf_counter() - t0
+        if per_sample_best is None or elapsed < per_sample_best:
+            per_sample_best = elapsed
+    block_best = None
+    for _ in range(config.rounds):
+        store = MetricStore()
+        t0 = time.perf_counter()
+        n_block = store.ingest_blocks(blocks)
+        n_block += store.ingest(nova_samples)
+        elapsed = time.perf_counter() - t0
+        if block_best is None or elapsed < block_best:
+            block_best = elapsed
+    if n_block != n_per_sample:
+        raise RuntimeError(
+            f"ingest paths disagree on sample count: {n_block} != {n_per_sample}"
+        )
+    return {
+        "ingest_samples": n_per_sample,
+        "telemetry_ingest_samples_per_s": n_block / block_best,
+        "telemetry_ingest_per_sample_per_s": n_per_sample / per_sample_best,
+        "ingest_block_speedup_vs_per_sample": per_sample_best / block_best,
+    }
+
+
+def bench_drs(config: BenchConfig) -> dict:
+    """One DRS round over a populated region (latency, seconds)."""
+    from repro.drs.balancer import DrsBalancer
+    from repro.simulation.runner import RegionSimulation, SimulationConfig
+
+    spec = paper_region_spec(scale=config.sim_scale)
+    sim = RegionSimulation(
+        spec,
+        SimulationConfig(
+            duration_days=0.5,
+            initial_vms=config.sim_initial_vms,
+            seed=config.sim_seed,
+        ),
+    )
+    sim.run()
+    drs = DrsBalancer()
+    t0 = time.perf_counter()
+    for bb in sim.region.iter_building_blocks():
+        if bb.policy == "pack":
+            continue
+        drs.run(bb)
+    return {"drs_round_latency_s": time.perf_counter() - t0}
+
+
+def bench_sim(config: BenchConfig) -> dict:
+    """Seeded end-to-end regional run: wall time, events, samples."""
+    from repro.simulation.runner import RegionSimulation, SimulationConfig
+
+    spec = paper_region_spec(scale=config.sim_scale)
+    t0 = time.perf_counter()
+    sim = RegionSimulation(
+        spec,
+        SimulationConfig(
+            duration_days=config.sim_days,
+            initial_vms=config.sim_initial_vms,
+            arrival_rate_per_hour=config.sim_arrival_rate_per_hour,
+            seed=config.sim_seed,
+        ),
+    )
+    result = sim.run()
+    elapsed = time.perf_counter() - t0
+    out = {
+        "sim_days": config.sim_days,
+        "sim_wall_s": elapsed,
+        "sim_events": result.events_processed,
+        "sim_samples": result.store.sample_count(),
+        "sim_scheduler_stats": dict(result.scheduler_stats),
+        "sim_placement_stats": result.placement.stats(),
+    }
+    if config.sim_days == 30.0:
+        out["sim_30day_wall_s"] = elapsed
+    return out
+
+
+def run_bench(config: BenchConfig | None = None, echo=None) -> dict:
+    """Run every bench stage; returns the BENCH_scale.json payload."""
+    config = config or BenchConfig()
+
+    def say(msg: str) -> None:
+        if echo is not None:
+            echo(msg)
+
+    results: dict = {}
+    say(f"scheduling: {config.requests} requests at scale {config.scale} ...")
+    results.update(bench_schedule(config))
+    say(f"telemetry ingest: {config.ingest_cycles} scrape cycles ...")
+    results.update(bench_ingest(config))
+    say("DRS round latency ...")
+    results.update(bench_drs(config))
+    if config.run_sim:
+        say(f"regional simulation: {config.sim_days:g} days ...")
+        results.update(bench_sim(config))
+    results["peak_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    for key in ("schedule_requests_per_s", "telemetry_ingest_samples_per_s"):
+        baseline = PRE_PR_BASELINE[key]
+        results[f"{key.split('_per_s')[0]}_speedup_vs_baseline"] = (
+            results[key] / baseline
+        )
+    return {
+        "bench": "scale",
+        "config": asdict(config),
+        "baseline_pre_pr": dict(PRE_PR_BASELINE),
+        "results": results,
+    }
+
+
+#: (key, minimum) bounds the CI smoke job enforces; in-run ratios only, so
+#: they hold on any host.
+CHECK_BOUNDS = (
+    ("schedule_speedup_vs_legacy", 1.5),
+    ("ingest_block_speedup_vs_per_sample", 3.0),
+)
+
+#: Keys that must be present (and finite) in results for the artifact to
+#: count as a valid BENCH_scale.json.
+REQUIRED_KEYS = (
+    "schedule_requests_per_s",
+    "telemetry_ingest_samples_per_s",
+    "drs_round_latency_s",
+    "peak_rss_kb",
+)
+
+
+def check_results(payload: dict) -> list[str]:
+    """Non-regression check; returns a list of violations (empty = pass)."""
+    problems: list[str] = []
+    results = payload.get("results", {})
+    for key in REQUIRED_KEYS:
+        value = results.get(key)
+        if value is None or not np.isfinite(value):
+            problems.append(f"missing or non-finite result key: {key}")
+    if not results.get("placements_identical", False):
+        problems.append("indexed and legacy scheduling paths placed differently")
+    for key, minimum in CHECK_BOUNDS:
+        value = results.get(key, 0.0)
+        if not (value >= minimum):
+            problems.append(f"{key} = {value:.2f} below required {minimum:.2f}")
+    return problems
+
+
+def write_bench_json(payload: dict, path: str) -> None:
+    """Write the artifact with stable formatting."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -21,6 +21,10 @@ Subcommands::
         Run a fault-injection scenario (host failures, migration aborts,
         telemetry gaps) and print the deterministic FaultReport JSON.
 
+    repro bench [--smoke] [--check] [--out BENCH_scale.json]
+        Time the scheduling, telemetry-ingest, and simulation hot paths on
+        seeded workloads and write the perf artifact.
+
 Run ``python -m repro.cli --help`` (or ``repro --help`` once installed).
 """
 
@@ -179,6 +183,47 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.bench import BenchConfig, check_results, run_bench, write_bench_json
+
+    config = BenchConfig.smoke() if args.smoke else BenchConfig()
+    if args.skip_sim:
+        config = replace(config, run_sim=False)
+    if args.days is not None:
+        config = replace(config, sim_days=args.days)
+    payload = run_bench(config, echo=lambda msg: print(msg, file=sys.stderr))
+    write_bench_json(payload, args.out)
+    results = payload["results"]
+    print(
+        f"schedule: {results['schedule_requests_per_s']:,.0f} req/s "
+        f"({results['schedule_speedup_vs_legacy']:.2f}x vs legacy path, "
+        f"{results['schedule_requests_speedup_vs_baseline']:.2f}x vs pre-PR baseline)"
+    )
+    print(
+        f"ingest:   {results['telemetry_ingest_samples_per_s']:,.0f} samples/s "
+        f"({results['ingest_block_speedup_vs_per_sample']:.2f}x vs per-sample path, "
+        f"{results['telemetry_ingest_samples_speedup_vs_baseline']:.2f}x vs pre-PR baseline)"
+    )
+    print(f"DRS round: {results['drs_round_latency_s'] * 1e3:.1f} ms")
+    if "sim_wall_s" in results:
+        print(
+            f"simulation: {results['sim_days']:g} days in "
+            f"{results['sim_wall_s']:.1f} s ({results['sim_events']} events)"
+        )
+    print(f"peak RSS: {results['peak_rss_kb']:,} KB")
+    print(f"Wrote {args.out}")
+    if args.check:
+        problems = check_results(payload)
+        for problem in problems:
+            print(f"CHECK FAILED: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("All bench checks passed.")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser with every subcommand registered."""
     parser = argparse.ArgumentParser(
@@ -238,6 +283,29 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--evac-retries", type=int, default=5)
     faults.add_argument("--out", default=None, help="write report JSON here")
     faults.set_defaults(func=_cmd_faults)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the scheduling/telemetry/simulation hot paths"
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run: same workloads, much smaller counts",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="fail unless in-run speedup ratios meet the required bounds",
+    )
+    bench.add_argument(
+        "--skip-sim", action="store_true",
+        help="skip the multi-day end-to-end simulation stage",
+    )
+    bench.add_argument(
+        "--days", type=float, default=None,
+        help="override the simulation stage's duration in days",
+    )
+    bench.add_argument("--out", default="BENCH_scale.json",
+                       help="where to write the result JSON")
+    bench.set_defaults(func=_cmd_bench)
 
     query = sub.add_parser("query", help="evaluate a telemetry query")
     query.add_argument("dataset", help="dataset archive directory")

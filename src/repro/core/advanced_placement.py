@@ -20,12 +20,14 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from repro.infrastructure.hierarchy import Region
+from repro.scheduler.config import SchedulerConfig
 from repro.scheduler.filters import Filter, default_filters
 from repro.scheduler.hoststate import HostState
 from repro.scheduler.pipeline import FilterScheduler, NoValidHost, SchedulingResult
 from repro.scheduler.placement import PlacementService
 from repro.scheduler.policies import weighers_for_flavor
 from repro.scheduler.request import RequestSpec
+from repro.scheduler.stats import SCHEDULER_STAT_KEYS, normalize_stats
 from repro.scheduler.weighers import Weigher, WeigherPipeline
 
 
@@ -72,7 +74,11 @@ class LifetimeAffinityWeigher(Weigher):
 
 
 class ContentionAwareScheduler(FilterScheduler):
-    """FilterScheduler with historic-contention weighting."""
+    """FilterScheduler with historic-contention weighting.
+
+    Rides on the base pipeline (index, short-circuiting, caching) by
+    overriding only the :meth:`_weighers_for` hook.
+    """
 
     def __init__(
         self,
@@ -80,25 +86,18 @@ class ContentionAwareScheduler(FilterScheduler):
         placement: PlacementService,
         contention_scores: Mapping[str, float],
         contention_multiplier: float = 2.0,
+        config: SchedulerConfig | None = None,
         **kwargs,
     ) -> None:
-        super().__init__(region, placement, **kwargs)
+        super().__init__(region, placement, config, **kwargs)
         self.contention_scores = contention_scores
         self.contention_multiplier = contention_multiplier
-
-    def select_destinations(self, spec: RequestSpec):
-        hosts = self.host_states()
-        counts: dict[str, int] = {"initial": len(hosts)}
-        for flt in self.filters:
-            hosts = flt.filter_all(hosts, spec)
-            counts[flt.name] = len(hosts)
-        if not hosts:
-            return [], counts
-        weighers = list(self._fixed_weighers or weighers_for_flavor(spec.flavor))
-        weighers.append(
-            ContentionWeigher(self.contention_scores, self.contention_multiplier)
+        self._contention_weigher = ContentionWeigher(
+            contention_scores, contention_multiplier
         )
-        return WeigherPipeline(weighers).rank(hosts, spec), counts
+
+    def _weighers_for(self, spec: RequestSpec) -> list[Weigher]:
+        return [*super()._weighers_for(spec), self._contention_weigher]
 
 
 class LifetimeAwareScheduler(FilterScheduler):
@@ -106,7 +105,9 @@ class LifetimeAwareScheduler(FilterScheduler):
 
     ``churn_classes`` maps host_id to "short" or "long"; unmapped hosts are
     neutral.  Requests carry their prediction in the
-    ``expected_lifetime_s`` scheduler hint.
+    ``expected_lifetime_s`` scheduler hint.  Candidate states are decorated
+    via the :meth:`_prepare_states` hook (the stamp is idempotent, so it is
+    safe on the long-lived states the index caches).
     """
 
     def __init__(
@@ -115,31 +116,26 @@ class LifetimeAwareScheduler(FilterScheduler):
         placement: PlacementService,
         churn_classes: Mapping[str, str],
         affinity_multiplier: float = 1.5,
+        config: SchedulerConfig | None = None,
         **kwargs,
     ) -> None:
-        super().__init__(region, placement, **kwargs)
+        super().__init__(region, placement, config, **kwargs)
         self.churn_classes = churn_classes
         self.affinity_multiplier = affinity_multiplier
+        self._lifetime_weigher = LifetimeAffinityWeigher(affinity_multiplier)
 
-    def host_states(self) -> list[HostState]:
-        states = super().host_states()
+    def _prepare_states(self, states: list[HostState]) -> list[HostState]:
         for state in states:
             churn = self.churn_classes.get(state.host_id)
             if churn:
                 state.metadata["churn_class"] = churn
         return states
 
-    def select_destinations(self, spec: RequestSpec):
-        hosts = self.host_states()
-        counts: dict[str, int] = {"initial": len(hosts)}
-        for flt in self.filters:
-            hosts = flt.filter_all(hosts, spec)
-            counts[flt.name] = len(hosts)
-        if not hosts:
-            return [], counts
-        weighers = list(self._fixed_weighers or weighers_for_flavor(spec.flavor))
-        weighers.append(LifetimeAffinityWeigher(self.affinity_multiplier))
-        return WeigherPipeline(weighers).rank(hosts, spec), counts
+    def host_states(self) -> list[HostState]:
+        return self._prepare_states(super().host_states())
+
+    def _weighers_for(self, spec: RequestSpec) -> list[Weigher]:
+        return [*super()._weighers_for(spec), self._lifetime_weigher]
 
 
 class HolisticNodeScheduler:
@@ -155,14 +151,24 @@ class HolisticNodeScheduler:
         self,
         region: Region,
         placement: PlacementService,
+        config: SchedulerConfig | None = None,
         filters: list[Filter] | None = None,
         weighers: list[Weigher] | None = None,
     ) -> None:
+        if config is not None:
+            filters = list(config.filters) if config.filters is not None else filters
+            weighers = (
+                list(config.weighers) if config.weighers is not None else weighers
+            )
         self.region = region
         self.placement = placement
         self.filters = filters if filters is not None else default_filters()
         self._fixed_weighers = weighers
-        self.stats = {"requests": 0, "placed": 0, "failed": 0}
+        self.stats = {key: 0 for key in SCHEDULER_STAT_KEYS}
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Canonical counter snapshot (shared stats() API)."""
+        return normalize_stats(self.stats, SCHEDULER_STAT_KEYS)
 
     def node_states(self) -> list[HostState]:
         """Per-node candidate states (free capacity under the BB policy)."""

@@ -48,6 +48,9 @@ class EvacuationManager:
         node.failed = True
         self.report.host_failures += 1
         self.report.failed_hosts.append(node.node_id)
+        # The failure flag bypasses placement, so tell an indexing
+        # scheduler its cached view of this building block is stale.
+        self._invalidate_host(node.building_block)
         victims = list(node.vms.values())
         for i, vm in enumerate(victims):
             node.remove_vm(vm.vm_id)
@@ -73,6 +76,12 @@ class EvacuationManager:
         if node.failed:
             node.failed = False
             self.report.host_recoveries += 1
+            self._invalidate_host(node.building_block)
+
+    def _invalidate_host(self, bb_id: str) -> None:
+        invalidate = getattr(self.sim.scheduler, "invalidate_host", None)
+        if invalidate is not None:
+            invalidate(bb_id)
 
     # -- retry loop -------------------------------------------------------------
 

@@ -13,11 +13,22 @@ Flavor names follow the SAP convention of a family prefix plus a size suffix
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator
 
 from repro.infrastructure.capacity import Capacity
 
 GIB_MB = 1024  # MiB per GiB; flavor RAM is specified in GiB in the paper.
+
+
+@lru_cache(maxsize=1024)
+def _requested_capacity(flavor: "Flavor") -> Capacity:
+    # Flavor and Capacity are both frozen, so the shared instance is safe;
+    # schedulers and DRS call requested() on every candidate check and the
+    # Capacity churn shows up in profiles.
+    return Capacity(
+        vcpus=flavor.vcpus, memory_mb=flavor.ram_mb, disk_gb=flavor.disk_gb
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,8 +71,8 @@ class Flavor:
         return self.ram_gib * GIB_MB
 
     def requested(self) -> Capacity:
-        """The capacity this flavor requests from a host."""
-        return Capacity(vcpus=self.vcpus, memory_mb=self.ram_mb, disk_gb=self.disk_gb)
+        """The capacity this flavor requests from a host (memoized)."""
+        return _requested_capacity(self)
 
     def spec(self, key: str, default: str | None = None) -> str | None:
         """Look up an extra-spec value."""

@@ -17,6 +17,19 @@ from repro.infrastructure.capacity import Capacity, OvercommitPolicy
 from repro.infrastructure.vm import VM
 
 
+#: Monotonic counter bumped by every node-level mutation that can affect
+#: scheduling: VM add/remove and the failure/maintenance flags.  The
+#: scheduler's HostStateIndex compares it across queries to skip its
+#: fingerprint scan entirely when no node changed — O(1) instead of
+#: O(nodes) on the scheduling hot path.
+NODE_MUTATION_EPOCH = 0
+
+
+def _bump_node_epoch() -> None:
+    global NODE_MUTATION_EPOCH
+    NODE_MUTATION_EPOCH += 1
+
+
 @dataclass
 class ComputeNode:
     """One physical hypervisor.
@@ -36,6 +49,14 @@ class ComputeNode:
     #: Hard failure (hypervisor down): resident VMs must be evacuated and no
     #: new placements may land here until recovery clears the flag.
     failed: bool = False
+
+    def __setattr__(self, name: str, value) -> None:
+        # Flipping a health flag must invalidate any scheduler-side cache;
+        # writes to these two fields are rare, so the hook costs nothing
+        # where it matters.
+        if name == "failed" or name == "maintenance":
+            _bump_node_epoch()
+        object.__setattr__(self, name, value)
 
     @property
     def healthy(self) -> bool:
@@ -65,6 +86,7 @@ class ComputeNode:
             raise ValueError(f"VM {vm.vm_id} already on node {self.node_id}")
         self.vms[vm.vm_id] = vm
         vm.node_id = self.node_id
+        _bump_node_epoch()
 
     def remove_vm(self, vm_id: str) -> VM:
         """Remove and return a resident VM; clears its ``node_id``."""
@@ -73,6 +95,7 @@ class ComputeNode:
         except KeyError:
             raise KeyError(f"VM {vm_id} not on node {self.node_id}") from None
         vm.node_id = None
+        _bump_node_epoch()
         return vm
 
     @property
@@ -107,6 +130,7 @@ class BuildingBlock:
         node.datacenter = self.datacenter
         node.az = self.az
         self.nodes[node.node_id] = node
+        _bump_node_epoch()
 
     def iter_nodes(self) -> Iterator[ComputeNode]:
         return iter(self.nodes.values())

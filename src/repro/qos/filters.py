@@ -27,6 +27,7 @@ class QosClassFilter(Filter):
     """
 
     name = "QosClassFilter"
+    cost = 2
 
     def __init__(self, contention_scores: Mapping[str, float] | None = None) -> None:
         self.contention_scores = contention_scores or {}
@@ -53,6 +54,7 @@ class NumaFitFilter(Filter):
     """
 
     name = "NumaFitFilter"
+    cost = 3
 
     def __init__(self, topologies: Mapping[str, NumaTopology]) -> None:
         self.topologies = topologies

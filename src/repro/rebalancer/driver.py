@@ -26,6 +26,9 @@ class RebalanceReport:
     imbalance_after: float = 0.0
     total_transfer_mb: float = 0.0
     history: list[str] = field(default_factory=list)
+    #: Canonical placement-service counters (claims/releases/moves/failed)
+    #: snapshotted after the pass; empty when no placement is attached.
+    placement_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def improvement(self) -> float:
@@ -129,6 +132,8 @@ class RebalanceDriver:
             report.aborted_moves = self.fault_model.aborted - aborted_before
 
         report.imbalance_after = self.dc_imbalance(datacenter, load_fn)
+        if self.placement is not None:
+            report.placement_stats = self.placement.stats()
         return report
 
     def run_until_stable(
@@ -152,6 +157,8 @@ class RebalanceDriver:
             if report.improvement < min_improvement:
                 break
         total.imbalance_after = self.dc_imbalance(datacenter, load_fn)
+        if self.placement is not None:
+            total.placement_stats = self.placement.stats()
         return total
 
     def _dc_has_failed_host(self, datacenter: str) -> bool:

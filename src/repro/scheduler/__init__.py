@@ -44,7 +44,15 @@ from repro.scheduler.pipeline import (
     NoValidHost,
     SchedulingResult,
 )
+from repro.scheduler.config import SchedulerConfig
+from repro.scheduler.index import HostStateIndex, bucket_key
 from repro.scheduler.policies import pack_policy_weighers, spread_policy_weighers
+from repro.scheduler.stats import (
+    PLACEMENT_STAT_KEYS,
+    SCHEDULER_STAT_KEYS,
+    normalize_stats,
+    stats_of,
+)
 
 __all__ = [
     "RequestSpec",
@@ -75,6 +83,13 @@ __all__ = [
     "HostState",
     "SchedulingResult",
     "NoValidHost",
+    "SchedulerConfig",
+    "HostStateIndex",
+    "bucket_key",
     "pack_policy_weighers",
     "spread_policy_weighers",
+    "SCHEDULER_STAT_KEYS",
+    "PLACEMENT_STAT_KEYS",
+    "normalize_stats",
+    "stats_of",
 ]

@@ -19,15 +19,32 @@ class Filter(abc.ABC):
 
     name = "Filter"
 
+    #: Relative evaluation cost; the scheduler's fast path runs cheaper
+    #: filters first so inexpensive eliminations (capacity, aggregate)
+    #: short-circuit expensive ones (affinity, QoS/NUMA).  Ordering never
+    #: changes the survivor set — filters are pure per-host predicates.
+    cost = 1
+
     @abc.abstractmethod
     def passes(self, host: HostState, spec: RequestSpec) -> bool:
         """True when ``host`` remains a valid candidate for ``spec``."""
+
+    def relevant(self, spec: RequestSpec) -> bool:
+        """False when this filter cannot reject any host for ``spec``.
+
+        The scheduler's fast path skips irrelevant filters entirely (e.g.
+        the retry filter when nothing is excluded yet).  Must be
+        conservative: only return False when ``passes`` would be True for
+        every conceivable host.
+        """
+        return True
 
     def filter_all(
         self, hosts: list[HostState], spec: RequestSpec
     ) -> list[HostState]:
         """Hosts surviving this filter."""
-        return [h for h in hosts if self.passes(h, spec)]
+        passes = self.passes
+        return [h for h in hosts if passes(h, spec)]
 
     def __repr__(self) -> str:
         return f"<{self.name}>"
@@ -37,9 +54,13 @@ class AllHostsFilter(Filter):
     """No-op filter (Nova's default fallback)."""
 
     name = "AllHostsFilter"
+    cost = 0
 
     def passes(self, host: HostState, spec: RequestSpec) -> bool:
         return True
+
+    def relevant(self, spec: RequestSpec) -> bool:
+        return False
 
 
 class ComputeFilter(Filter):
@@ -50,6 +71,7 @@ class ComputeFilter(Filter):
     """
 
     name = "ComputeFilter"
+    cost = 0
 
     def passes(self, host: HostState, spec: RequestSpec) -> bool:
         if not host.enabled:
@@ -60,11 +82,25 @@ class ComputeFilter(Filter):
             and host.free_ram_mb >= requested.memory_mb
         )
 
+    def filter_all(
+        self, hosts: list[HostState], spec: RequestSpec
+    ) -> list[HostState]:
+        # Hot path: resolve the requested capacity once per batch instead
+        # of once per host.
+        requested = spec.requested()
+        vcpus, ram_mb = requested.vcpus, requested.memory_mb
+        return [
+            h
+            for h in hosts
+            if h.enabled and h.free_vcpus >= vcpus and h.free_ram_mb >= ram_mb
+        ]
+
 
 class VCpuFilter(Filter):
     """Free-vCPU check only (Nova CoreFilter)."""
 
     name = "VCpuFilter"
+    cost = 0
 
     def passes(self, host: HostState, spec: RequestSpec) -> bool:
         return host.free_vcpus >= spec.flavor.vcpus
@@ -74,6 +110,7 @@ class RamFilter(Filter):
     """Free-memory check only."""
 
     name = "RamFilter"
+    cost = 0
 
     def passes(self, host: HostState, spec: RequestSpec) -> bool:
         return host.free_ram_mb >= spec.flavor.ram_mb
@@ -83,6 +120,7 @@ class DiskFilter(Filter):
     """Free-local-storage check."""
 
     name = "DiskFilter"
+    cost = 0
 
     def passes(self, host: HostState, spec: RequestSpec) -> bool:
         return host.free_disk_gb >= spec.flavor.disk_gb
@@ -92,11 +130,15 @@ class AvailabilityZoneFilter(Filter):
     """Honours the requested AZ; requests without an AZ match any host."""
 
     name = "AvailabilityZoneFilter"
+    cost = 0
 
     def passes(self, host: HostState, spec: RequestSpec) -> bool:
         if spec.availability_zone is None:
             return True
         return host.az == spec.availability_zone
+
+    def relevant(self, spec: RequestSpec) -> bool:
+        return spec.availability_zone is not None
 
 
 class AggregateInstanceExtraSpecsFilter(Filter):
@@ -108,6 +150,7 @@ class AggregateInstanceExtraSpecsFilter(Filter):
     """
 
     name = "AggregateInstanceExtraSpecsFilter"
+    cost = 0
 
     #: Aggregate classes that are exclusive to matching flavors.
     EXCLUSIVE_CLASSES = frozenset({"hana", "hana_xl", "gpu"})
@@ -123,6 +166,7 @@ class TenantIsolationFilter(Filter):
     """Hosts with a tenant allowlist only accept those tenants."""
 
     name = "TenantIsolationFilter"
+    cost = 0
 
     def passes(self, host: HostState, spec: RequestSpec) -> bool:
         if not host.allowed_tenants:
@@ -134,6 +178,7 @@ class MaintenanceFilter(Filter):
     """Rejects hosts that are fully in maintenance."""
 
     name = "MaintenanceFilter"
+    cost = 0
 
     def passes(self, host: HostState, spec: RequestSpec) -> bool:
         return host.enabled
@@ -143,6 +188,7 @@ class NumInstancesFilter(Filter):
     """Caps the number of instances per host."""
 
     name = "NumInstancesFilter"
+    cost = 0
 
     def __init__(self, max_instances: int = 10_000) -> None:
         if max_instances < 1:
@@ -157,9 +203,13 @@ class RetryFilter(Filter):
     """Excludes hosts that already failed this request (Nova retries)."""
 
     name = "RetryFilter"
+    cost = 0
 
     def passes(self, host: HostState, spec: RequestSpec) -> bool:
         return host.host_id not in spec.excluded_hosts
+
+    def relevant(self, spec: RequestSpec) -> bool:
+        return bool(spec.excluded_hosts)
 
 
 def default_filters() -> list[Filter]:

@@ -5,18 +5,35 @@ chain, rank survivors through the weigher pipeline, then claim the best
 candidate against placement.  Nova's greedy-with-retries behaviour is
 reproduced: if the claim races and fails, the next-ranked alternate is
 tried, up to ``max_attempts``.
+
+Configuration goes through :class:`~repro.scheduler.config.SchedulerConfig`;
+the pre-config keyword arguments (``filters=``, ``weighers=``,
+``max_attempts=``, ``alternates=``) are deprecated shims kept for one
+release.
+
+Hot-path behaviour: with ``config.use_index`` (the default) candidate
+states come from an incremental :class:`~repro.scheduler.index.HostStateIndex`
+instead of a per-request region rescan.  With ``track_filter_counts=False``
+the pipeline additionally pre-narrows candidates via the index's free-vCPU
+buckets and runs filters cheapest-first with early exit — survivors, and
+therefore placements, are identical either way (only the per-filter trace
+is dropped); the equivalence tests pin this.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.infrastructure.hierarchy import Region
-from repro.scheduler.filters import Filter, default_filters
+from repro.scheduler.config import SchedulerConfig
+from repro.scheduler.filters import ComputeFilter, Filter, VCpuFilter, default_filters
 from repro.scheduler.hoststate import HostState
+from repro.scheduler.index import HostStateIndex
 from repro.scheduler.placement import AllocationError, PlacementService
 from repro.scheduler.policies import weighers_for_flavor
 from repro.scheduler.request import RequestSpec
+from repro.scheduler.stats import SCHEDULER_STAT_KEYS, normalize_stats
 from repro.scheduler.weighers import Weigher, WeigherPipeline
 
 
@@ -44,29 +61,117 @@ class FilterScheduler:
         self,
         region: Region,
         placement: PlacementService,
+        config: SchedulerConfig | None = None,
+        *,
         filters: list[Filter] | None = None,
         weighers: list[Weigher] | None = None,
-        max_attempts: int = 3,
-        alternates: int = 3,
+        max_attempts: int | None = None,
+        alternates: int | None = None,
     ) -> None:
-        if max_attempts < 1:
-            raise ValueError("max_attempts must be >= 1")
+        if isinstance(config, (list, tuple)):
+            # Legacy positional call: FilterScheduler(region, placement, [f...]).
+            filters, config = list(config), None
+        legacy = {
+            key: value
+            for key, value in (
+                ("filters", filters),
+                ("weighers", weighers),
+                ("max_attempts", max_attempts),
+                ("alternates", alternates),
+            )
+            if value is not None
+        }
+        if legacy:
+            if config is not None:
+                raise TypeError(
+                    "pass either a SchedulerConfig or the legacy keyword "
+                    "arguments, not both"
+                )
+            warnings.warn(
+                "FilterScheduler(filters=/weighers=/max_attempts=/alternates=) "
+                "is deprecated; pass a SchedulerConfig instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = SchedulerConfig(**legacy)
+        elif config is None:
+            config = SchedulerConfig()
         self.region = region
         self.placement = placement
-        self.filters = filters if filters is not None else default_filters()
-        self._fixed_weighers = weighers
-        self.max_attempts = max_attempts
-        self.alternates = alternates
-        self.stats = {"requests": 0, "placed": 0, "failed": 0, "retries": 0}
+        self.config = config
+        self.filters = (
+            list(config.filters) if config.filters is not None else default_filters()
+        )
+        self._fixed_weighers = (
+            list(config.weighers) if config.weighers is not None else None
+        )
+        self.max_attempts = config.max_attempts
+        self.alternates = config.alternates
+        self.stats = {key: 0 for key in SCHEDULER_STAT_KEYS}
+        # Cheapest filters first for the short-circuiting fast path; the
+        # survivor *set* is order-independent (filters are pure predicates),
+        # so this never changes placements, only work done.
+        self._ordered_filters = sorted(
+            self.filters, key=lambda flt: getattr(flt, "cost", 1)
+        )
+        # Bucket pre-selection is only sound when the chain contains a
+        # free-vCPU capacity check that would eliminate the same hosts.
+        self._vcpu_gated = any(
+            isinstance(flt, (ComputeFilter, VCpuFilter)) for flt in self.filters
+        )
+        self._index: HostStateIndex | None = (
+            HostStateIndex(region, placement) if config.use_index else None
+        )
+        self._pipelines: dict[str, WeigherPipeline] = {}
 
     # -- host collection -----------------------------------------------------
 
     def host_states(self) -> list[HostState]:
-        """Candidate states for every building block in the region."""
+        """Candidate states for every building block, rebuilt from scratch."""
         return [
             HostState.from_building_block(bb, self.placement)
             for bb in self.region.iter_building_blocks()
         ]
+
+    def invalidate_host(self, host_id: str) -> None:
+        """Tell the index a host mutated outside placement (e.g. failed)."""
+        if self._index is not None:
+            self._index.invalidate(host_id)
+
+    @property
+    def index(self) -> HostStateIndex | None:
+        """The incremental host-state index, if enabled."""
+        return self._index
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Canonical counter snapshot (shared stats() API)."""
+        return normalize_stats(self.stats, SCHEDULER_STAT_KEYS)
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _prepare_states(self, states: list[HostState]) -> list[HostState]:
+        """Decorate candidate states before filtering (subclass hook)."""
+        return states
+
+    def _weighers_for(self, spec: RequestSpec) -> list[Weigher]:
+        """Weigher set for one request (subclass hook)."""
+        if self._fixed_weighers is not None:
+            return self._fixed_weighers
+        return weighers_for_flavor(spec.flavor)
+
+    def _weigher_cache_key(self, spec: RequestSpec) -> str | None:
+        """Cache key for the weigher pipeline; None disables caching."""
+        return spec.flavor.family
+
+    def _pipeline_for(self, spec: RequestSpec) -> WeigherPipeline:
+        key = self._weigher_cache_key(spec)
+        if key is None:
+            return WeigherPipeline(self._weighers_for(spec))
+        pipeline = self._pipelines.get(key)
+        if pipeline is None:
+            pipeline = WeigherPipeline(self._weighers_for(spec))
+            self._pipelines[key] = pipeline
+        return pipeline
 
     # -- scheduling -------------------------------------------------------------
 
@@ -74,15 +179,32 @@ class FilterScheduler:
         self, spec: RequestSpec
     ) -> tuple[list[tuple[HostState, float]], dict[str, int]]:
         """Filter + weigh; returns ranked candidates and per-filter counts."""
-        hosts = self.host_states()
+        config = self.config
+        trace = config.track_filter_counts
+        if self._index is not None:
+            self._index.refresh()
+            if trace or not self._vcpu_gated:
+                hosts = self._index.states()
+            else:
+                hosts = self._index.candidates(spec.flavor.vcpus)
+        else:
+            hosts = self.host_states()
+        hosts = self._prepare_states(hosts)
         counts: dict[str, int] = {"initial": len(hosts)}
-        for flt in self.filters:
-            hosts = flt.filter_all(hosts, spec)
-            counts[flt.name] = len(hosts)
+        if trace:
+            for flt in self.filters:
+                hosts = flt.filter_all(hosts, spec)
+                counts[flt.name] = len(hosts)
+        else:
+            for flt in self._ordered_filters:
+                if not hosts:
+                    break
+                if flt.relevant(spec):
+                    hosts = flt.filter_all(hosts, spec)
+            counts["survivors"] = len(hosts)
         if not hosts:
             return [], counts
-        weighers = self._fixed_weighers or weighers_for_flavor(spec.flavor)
-        ranked = WeigherPipeline(weighers).rank(hosts, spec)
+        ranked = self._pipeline_for(spec).rank(hosts, spec)
         return ranked, counts
 
     def schedule(self, spec: RequestSpec) -> SchedulingResult:

@@ -11,9 +11,11 @@ claim fails and nothing is recorded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.infrastructure.capacity import Capacity, OvercommitPolicy
 from repro.infrastructure.hierarchy import BuildingBlock
+from repro.scheduler.stats import PLACEMENT_STAT_KEYS, normalize_stats
 
 VCPU = "VCPU"
 MEMORY_MB = "MEMORY_MB"
@@ -80,12 +82,39 @@ def _amounts_from_capacity(cap: Capacity) -> dict[str, float]:
     return {VCPU: cap.vcpus, MEMORY_MB: cap.memory_mb, DISK_GB: cap.disk_gb}
 
 
+#: Listener callback: ``(event, provider_id)`` where event is one of
+#: "claim", "release", "remove".  A move fires "release" on the source
+#: provider followed by "claim" on the target.
+PlacementListener = Callable[[str, str], None]
+
+
 class PlacementService:
     """Inventory + allocation store with atomic claims."""
 
     def __init__(self) -> None:
         self._providers: dict[str, ResourceProvider] = {}
         self._allocations: dict[str, Allocation] = {}
+        self._listeners: list[PlacementListener] = []
+        self._counters = {key: 0 for key in PLACEMENT_STAT_KEYS}
+
+    # -- observability ----------------------------------------------------------
+
+    def add_listener(self, listener: PlacementListener) -> None:
+        """Subscribe to allocation changes (used by HostStateIndex)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: PlacementListener) -> None:
+        """Unsubscribe a previously added listener (no-op if absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, event: str, provider_id: str) -> None:
+        for listener in self._listeners:
+            listener(event, provider_id)
+
+    def stats(self) -> dict[str, int]:
+        """Canonical operation counters: claims, releases, moves, failed."""
+        return normalize_stats(self._counters, PLACEMENT_STAT_KEYS)
 
     # -- provider management ----------------------------------------------------
 
@@ -123,6 +152,7 @@ class PlacementService:
                 f"provider {provider_id} still has allocations; delete them first"
             )
         del self._providers[provider_id]
+        self._notify("remove", provider_id)
 
     # -- allocations ---------------------------------------------------------------
 
@@ -136,51 +166,70 @@ class PlacementService:
         every class's new usage — happens before the first write, so a
         failed claim leaves ``used`` untouched for *all* resource classes.
         """
-        if consumer_id in self._allocations:
-            raise AllocationError(f"consumer {consumer_id} already has an allocation")
-        provider = self.provider(provider_id)
-        amounts = _amounts_from_capacity(requested)
-        for rc, amount in amounts.items():
-            if not (amount >= 0.0):  # also rejects NaN
+        try:
+            if consumer_id in self._allocations:
                 raise AllocationError(
-                    f"claim for {consumer_id} requests invalid {rc} amount {amount}"
+                    f"consumer {consumer_id} already has an allocation"
                 )
-        if not provider.fits(amounts):
-            raise AllocationError(
-                f"claim for {consumer_id} does not fit on {provider_id}"
-            )
+            provider = self.provider(provider_id)
+            amounts = _amounts_from_capacity(requested)
+            for rc, amount in amounts.items():
+                if not (amount >= 0.0):  # also rejects NaN
+                    raise AllocationError(
+                        f"claim for {consumer_id} requests invalid {rc} amount {amount}"
+                    )
+            if not provider.fits(amounts):
+                raise AllocationError(
+                    f"claim for {consumer_id} does not fit on {provider_id}"
+                )
+        except AllocationError:
+            self._counters["failed"] += 1
+            raise
         staged = {
             rc: provider.used.get(rc, 0.0) + amount for rc, amount in amounts.items()
         }
         provider.used.update(staged)
         allocation = Allocation(consumer_id, provider_id, amounts)
         self._allocations[consumer_id] = allocation
+        self._counters["claims"] += 1
+        self._notify("claim", provider_id)
         return allocation
 
-    def release(self, consumer_id: str) -> None:
-        """Drop a consumer's allocation (VM deleted or moved)."""
+    def _drop_allocation(self, consumer_id: str) -> Allocation:
+        """Remove the allocation, return usage, fire "release"."""
         allocation = self._allocations.pop(consumer_id, None)
         if allocation is None:
             raise AllocationError(f"consumer {consumer_id} has no allocation")
         provider = self.provider(allocation.provider_id)
         for rc, amount in allocation.amounts.items():
             provider.used[rc] = max(0.0, provider.used.get(rc, 0.0) - amount)
+        self._notify("release", allocation.provider_id)
+        return allocation
+
+    def release(self, consumer_id: str) -> None:
+        """Drop a consumer's allocation (VM deleted or moved)."""
+        self._drop_allocation(consumer_id)
+        self._counters["releases"] += 1
 
     def move(self, consumer_id: str, new_provider_id: str) -> Allocation:
         """Re-home an allocation (migration): atomic release+claim."""
         allocation = self._allocations.get(consumer_id)
         if allocation is None:
+            self._counters["failed"] += 1
             raise AllocationError(f"consumer {consumer_id} has no allocation")
         target = self.provider(new_provider_id)
         if not target.fits(allocation.amounts):
+            self._counters["failed"] += 1
             raise AllocationError(
                 f"move of {consumer_id} to {new_provider_id} does not fit"
             )
-        self.release(consumer_id)
+        self._drop_allocation(consumer_id)
         for rc, amount in allocation.amounts.items():
             target.used[rc] = target.used.get(rc, 0.0) + amount
         moved = Allocation(consumer_id, new_provider_id, allocation.amounts)
         self._allocations[consumer_id] = moved
+        self._counters["moves"] += 1
+        self._notify("claim", new_provider_id)
         return moved
 
     def allocation_for(self, consumer_id: str) -> Allocation | None:

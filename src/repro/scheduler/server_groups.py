@@ -92,6 +92,7 @@ class ServerGroupAffinityFilter(Filter):
     """Hard affinity: members must share the host of earlier members."""
 
     name = "ServerGroupAffinityFilter"
+    cost = 2
 
     def __init__(self, registry: ServerGroupRegistry) -> None:
         self.registry = registry
@@ -107,6 +108,7 @@ class ServerGroupAntiAffinityFilter(Filter):
     """Hard anti-affinity: members must land on distinct hosts."""
 
     name = "ServerGroupAntiAffinityFilter"
+    cost = 2
 
     def __init__(self, registry: ServerGroupRegistry) -> None:
         self.registry = registry

@@ -29,6 +29,12 @@ class Weigher(abc.ABC):
     def raw_weight(self, host: HostState, spec: RequestSpec) -> float:
         """Unnormalised score; higher means more preferred at multiplier 1."""
 
+    def raw_weights(self, hosts: list[HostState], spec: RequestSpec) -> list[float]:
+        """Batch form of :meth:`raw_weight`; override to skip per-host
+        dispatch on the scheduling hot path."""
+        raw_weight = self.raw_weight
+        return [raw_weight(h, spec) for h in hosts]
+
     def __repr__(self) -> str:
         return f"<{self.name} x{self.multiplier}>"
 
@@ -41,6 +47,9 @@ class CPUWeigher(Weigher):
     def raw_weight(self, host: HostState, spec: RequestSpec) -> float:
         return host.free_vcpus
 
+    def raw_weights(self, hosts: list[HostState], spec: RequestSpec) -> list[float]:
+        return [h.free_vcpus for h in hosts]
+
 
 class RAMWeigher(Weigher):
     """Scores by free memory (Nova RAMWeigher)."""
@@ -49,6 +58,9 @@ class RAMWeigher(Weigher):
 
     def raw_weight(self, host: HostState, spec: RequestSpec) -> float:
         return host.free_ram_mb
+
+    def raw_weights(self, hosts: list[HostState], spec: RequestSpec) -> list[float]:
+        return [h.free_ram_mb for h in hosts]
 
 
 class DiskWeigher(Weigher):
@@ -59,6 +71,9 @@ class DiskWeigher(Weigher):
     def raw_weight(self, host: HostState, spec: RequestSpec) -> float:
         return host.free_disk_gb
 
+    def raw_weights(self, hosts: list[HostState], spec: RequestSpec) -> list[float]:
+        return [h.free_disk_gb for h in hosts]
+
 
 class NumInstancesWeigher(Weigher):
     """Scores by instance count; positive multiplier prefers fewer VMs."""
@@ -67,6 +82,9 @@ class NumInstancesWeigher(Weigher):
 
     def raw_weight(self, host: HostState, spec: RequestSpec) -> float:
         return -float(host.num_instances)
+
+    def raw_weights(self, hosts: list[HostState], spec: RequestSpec) -> list[float]:
+        return [-float(h.num_instances) for h in hosts]
 
 
 class IoOpsWeigher(Weigher):
@@ -120,16 +138,22 @@ class WeigherPipeline:
         """
         if not hosts:
             return []
-        combined = np.zeros(len(hosts))
+        # Candidate lists are small (a handful of BBs survive filtering), so
+        # plain-Python min-max beats numpy's per-call overhead here.
+        combined = [0.0] * len(hosts)
         for weigher in self.weighers:
-            raw = np.asarray(
-                [weigher.raw_weight(h, spec) for h in hosts], dtype=float
-            )
-            combined += weigher.multiplier * _normalize(raw)
+            raw = weigher.raw_weights(hosts, spec)
+            lo = min(raw)
+            span = max(raw) - lo
+            if span < 1e-12:
+                continue  # constant column normalises to all-zeros
+            multiplier = weigher.multiplier
+            for i, value in enumerate(raw):
+                combined[i] += multiplier * ((value - lo) / span)
         order = sorted(
             range(len(hosts)), key=lambda i: (-combined[i], hosts[i].host_id)
         )
-        return [(hosts[i], float(combined[i])) for i in order]
+        return [(hosts[i], combined[i]) for i in order]
 
 
 def _normalize(raw: np.ndarray) -> np.ndarray:

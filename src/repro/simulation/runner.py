@@ -31,6 +31,7 @@ from repro.infrastructure.flavors import FlavorCatalog, default_catalog
 from repro.infrastructure.hierarchy import BuildingBlock, ComputeNode, Region
 from repro.infrastructure.topology import TopologySpec, build_region
 from repro.infrastructure.vm import VM, VMState
+from repro.scheduler.config import SchedulerConfig
 from repro.scheduler.pipeline import FilterScheduler, NoValidHost
 from repro.scheduler.placement import PlacementService
 from repro.scheduler.request import RequestSpec
@@ -78,6 +79,9 @@ class SimulationConfig:
     #: Placement strategy: "nova" (BB-level filter/weigher pipeline) or
     #: "holistic" (node-level single-layer scheduler, §7).
     scheduler_factory: str = "nova"
+    #: Scheduler knobs; None means the default config in fast mode (the
+    #: per-filter trace off — placements are identical, see SchedulerConfig).
+    scheduler_config: SchedulerConfig | None = None
     #: Fault-injection knobs (host failures, migration aborts, telemetry
     #: gaps); None runs the happy path with zero injection overhead.
     faults: FaultConfig | None = None
@@ -119,14 +123,19 @@ class RegionSimulation:
         self.placement = PlacementService()
         for bb in self.region.iter_building_blocks():
             self.placement.register_building_block(bb)
+        scheduler_config = self.config.scheduler_config or SchedulerConfig().fast()
         if scheduler is not None:
             self.scheduler = scheduler
         elif self.config.scheduler_factory == "holistic":
             from repro.core.advanced_placement import HolisticNodeScheduler
 
-            self.scheduler = HolisticNodeScheduler(self.region, self.placement)
+            self.scheduler = HolisticNodeScheduler(
+                self.region, self.placement, scheduler_config
+            )
         elif self.config.scheduler_factory == "nova":
-            self.scheduler = FilterScheduler(self.region, self.placement)
+            self.scheduler = FilterScheduler(
+                self.region, self.placement, scheduler_config
+            )
         else:
             raise ValueError(
                 f"unknown scheduler_factory {self.config.scheduler_factory!r}"

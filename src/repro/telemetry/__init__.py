@@ -10,7 +10,7 @@ dataset.
 """
 
 from repro.telemetry.timeseries import TimeSeries
-from repro.telemetry.store import MetricStore, Sample
+from repro.telemetry.store import MetricStore, Sample, SampleBlock
 from repro.telemetry.metrics import (
     METRIC_CATALOG,
     MetricSpec,
@@ -25,6 +25,7 @@ __all__ = [
     "TimeSeries",
     "MetricStore",
     "Sample",
+    "SampleBlock",
     "MetricSpec",
     "METRIC_CATALOG",
     "VROPS_METRICS",

@@ -16,6 +16,10 @@ Examples::
     mean(vrops_hostsystem_cpu_contention_percentage)
     vrops_hostsystem_cpu_ready_milliseconds{hostsystem="node-07"}
     max(vrops_hostsystem_memory_usage_percentage{datacenter="dc-a"})[0, 86400]
+
+This module is also the single *programmatic* query surface: the
+:func:`query`, :func:`query_range` and :func:`instant` helpers delegate to
+the store, replacing the deprecated ``MetricStore.query_range``.
 """
 
 from __future__ import annotations
@@ -23,10 +27,42 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
-from repro.telemetry.store import MetricStore
+from repro.telemetry.store import Labels, MetricStore
 from repro.telemetry.timeseries import TimeSeries
 
 AGGREGATIONS = ("mean", "max", "min", "sum", "p95", "count")
+
+
+def query(
+    store: MetricStore, metric: str, labels: dict[str, str] | Labels | None = None
+) -> TimeSeries:
+    """The exact series for (metric, labels); empty if absent."""
+    return store.query(metric, labels)
+
+
+def query_range(
+    store: MetricStore,
+    metric: str,
+    labels: dict[str, str] | Labels | None,
+    start: float,
+    end: float,
+) -> TimeSeries:
+    """Samples of one series within [start, end).
+
+    The canonical range read: delegates to the store's cached
+    :meth:`~repro.telemetry.store.MetricStore.window`.
+    """
+    return store.window(metric, labels, start, end)
+
+
+def instant(
+    store: MetricStore,
+    metric: str,
+    labels: dict[str, str] | Labels | None,
+    at: float,
+) -> float | None:
+    """The most recent non-stale value at or before ``at`` (PromQL instant)."""
+    return store.query(metric, labels).at_or_before(at)
 
 _TOKEN_RE = re.compile(
     r"""

@@ -2,20 +2,39 @@
 
 Models the Prometheus/Thanos role in the paper's pipeline (§4): exporters
 append samples for ``(metric, labels)`` pairs; analyses issue range queries
-and cross-series aggregations.  Storage is append-mostly; series are
-finalised into sorted numpy arrays lazily on first read.
+and cross-series aggregations.
+
+Storage is columnar and append-mostly: each series holds one
+``array('d')`` buffer per column (timestamps, values) — no per-sample
+Python objects — and is finalised into sorted numpy arrays lazily on
+first read.  Staleness markers are NaN sentinels
+(:data:`~repro.telemetry.timeseries.STALE`) stored inline in the value
+column, so they survive every bulk path untouched.  Window reads go
+through an LRU cache that is invalidated by appends (the cache key
+carries the series' sample count, so a stale entry can never be served).
+
+The PromQL-ish front-end in :mod:`repro.telemetry.query` is the public
+query surface; the store-level :meth:`MetricStore.query_range` remains as
+a deprecated shim for one release.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator
+import warnings
+from array import array
+from collections import OrderedDict
+from typing import Callable, Iterable, Iterator, NamedTuple
 
 import numpy as np
 
 from repro.telemetry.timeseries import STALE, TimeSeries
 
 Labels = tuple[tuple[str, str], ...]
+
+_FLOAT64 = np.dtype(np.float64)
+
+#: Max entries kept in the window-read LRU cache.
+RANGE_CACHE_SIZE = 128
 
 
 def _normalize_labels(labels: dict[str, str] | Labels | None) -> Labels:
@@ -26,8 +45,7 @@ def _normalize_labels(labels: dict[str, str] | Labels | None) -> Labels:
     return tuple(sorted(labels))
 
 
-@dataclass(frozen=True, slots=True)
-class Sample:
+class Sample(NamedTuple):
     """One observation of one series."""
 
     metric: str
@@ -36,14 +54,27 @@ class Sample:
     value: float
 
 
+class SampleBlock(NamedTuple):
+    """A contiguous window of one series: columnar exporter output.
+
+    ``timestamps`` / ``values`` are equally sized 1-D float arrays; stale
+    scrapes are NaN entries in ``values``.
+    """
+
+    metric: str
+    labels: Labels
+    timestamps: np.ndarray
+    values: np.ndarray
+
+
 class _SeriesBuffer:
-    """Append buffer that finalises into a TimeSeries on demand."""
+    """Columnar append buffer finalised into a TimeSeries on demand."""
 
     __slots__ = ("_ts", "_vs", "_finalized")
 
     def __init__(self) -> None:
-        self._ts: list[float] = []
-        self._vs: list[float] = []
+        self._ts: array = array("d")
+        self._vs: array = array("d")
         self._finalized: TimeSeries | None = None
 
     def append(self, t: float, v: float) -> None:
@@ -56,10 +87,18 @@ class _SeriesBuffer:
         self._vs.extend(vs)
         self._finalized = None
 
+    def extend_columns(self, ts: np.ndarray, vs: np.ndarray) -> None:
+        """Bulk append from float64 arrays (zero Python-level loop)."""
+        self._ts.frombytes(ts.tobytes())
+        self._vs.frombytes(vs.tobytes())
+        self._finalized = None
+
     def series(self) -> TimeSeries:
         if self._finalized is None:
-            ts = np.asarray(self._ts, dtype=float)
-            vs = np.asarray(self._vs, dtype=float)
+            # np.array(...) copies out of the buffer protocol; a view
+            # (np.frombuffer) would pin the array and break later appends.
+            ts = np.array(self._ts, dtype=float)
+            vs = np.array(self._vs, dtype=float)
             order = np.argsort(ts, kind="stable")
             ts, vs = ts[order], vs[order]
             # Deduplicate identical timestamps, keeping the last write.
@@ -78,6 +117,29 @@ class MetricStore:
 
     def __init__(self) -> None:
         self._series: dict[tuple[str, Labels], _SeriesBuffer] = {}
+        #: Memo of already-normalized label tuples (exporters emit the
+        #: same tuples over and over; sorting them each time dominates
+        #: per-sample ingest).
+        self._label_cache: dict[Labels, Labels] = {}
+        #: LRU of window reads keyed by (series key, sample count, start,
+        #: end); appends bump the count, so stale entries are unreachable
+        #: and age out.
+        self._range_cache: OrderedDict[tuple, TimeSeries] = OrderedDict()
+
+    def _normalize_cached(self, labels: dict[str, str] | Labels | None) -> Labels:
+        if type(labels) is tuple:
+            cached = self._label_cache.get(labels)
+            if cached is None:
+                cached = self._label_cache[labels] = tuple(sorted(labels))
+            return cached
+        return _normalize_labels(labels)
+
+    def _buffer(self, metric: str, labels: dict[str, str] | Labels | None) -> _SeriesBuffer:
+        key = (metric, self._normalize_cached(labels))
+        buf = self._series.get(key)
+        if buf is None:
+            buf = self._series[key] = _SeriesBuffer()
+        return buf
 
     # -- writes ----------------------------------------------------------------
 
@@ -89,11 +151,7 @@ class MetricStore:
         value: float,
     ) -> None:
         """Append one sample."""
-        key = (metric, _normalize_labels(labels))
-        buf = self._series.get(key)
-        if buf is None:
-            buf = self._series[key] = _SeriesBuffer()
-        buf.append(timestamp, value)
+        self._buffer(metric, labels).append(timestamp, value)
 
     def append_series(
         self,
@@ -102,11 +160,26 @@ class MetricStore:
         series: TimeSeries,
     ) -> None:
         """Append a whole series at once (bulk ingest)."""
-        key = (metric, _normalize_labels(labels))
-        buf = self._series.get(key)
-        if buf is None:
-            buf = self._series[key] = _SeriesBuffer()
-        buf.extend(series.timestamps, series.values)
+        self._buffer(metric, labels).extend(series.timestamps, series.values)
+
+    def append_columns(
+        self,
+        metric: str,
+        labels: dict[str, str] | Labels | None,
+        timestamps: np.ndarray,
+        values: np.ndarray,
+    ) -> int:
+        """Columnar bulk append: one buffer copy, no per-sample work.
+
+        NaN entries in ``values`` are staleness markers and are stored
+        verbatim.  Returns the number of samples appended.
+        """
+        ts = np.ascontiguousarray(timestamps, dtype=float)
+        vs = np.ascontiguousarray(values, dtype=float)
+        if ts.ndim != 1 or ts.shape != vs.shape:
+            raise ValueError("timestamps/values must be equally sized 1-D arrays")
+        self._buffer(metric, labels).extend_columns(ts, vs)
+        return len(ts)
 
     def append_stale(
         self,
@@ -123,10 +196,67 @@ class MetricStore:
 
     def ingest(self, samples: Iterable[Sample]) -> int:
         """Ingest samples from an exporter scrape; returns the count."""
+        series = self._series
+        label_cache = self._label_cache
         n = 0
-        for s in samples:
-            self.append(s.metric, s.labels, s.timestamp, s.value)
+        for metric, labels, timestamp, value in samples:
+            if type(labels) is tuple:
+                normalized = label_cache.get(labels)
+                if normalized is None:
+                    normalized = label_cache[labels] = tuple(sorted(labels))
+            else:
+                normalized = _normalize_labels(labels)
+            key = (metric, normalized)
+            buf = series.get(key)
+            if buf is None:
+                buf = series[key] = _SeriesBuffer()
+            buf._ts.append(timestamp)
+            buf._vs.append(value)
+            buf._finalized = None
             n += 1
+        return n
+
+    def ingest_blocks(self, blocks: Iterable[SampleBlock]) -> int:
+        """Ingest columnar exporter output; returns the sample count.
+
+        Hot path for bulk backfill: exporter windows arrive as float64
+        arrays, so conversion and validation are skipped when the columns
+        already have the right shape.
+        """
+        n = 0
+        series = self._series
+        label_cache = self._label_cache
+        ndarray = np.ndarray
+        float64 = _FLOAT64
+        for metric, labels, ts, vs in blocks:
+            if not (
+                type(ts) is ndarray
+                and type(vs) is ndarray
+                and ts.dtype == float64
+                and vs.dtype == float64
+                and ts.ndim == 1
+                and ts.shape == vs.shape
+            ):
+                ts = np.ascontiguousarray(ts, dtype=float)
+                vs = np.ascontiguousarray(vs, dtype=float)
+                if ts.ndim != 1 or ts.shape != vs.shape:
+                    raise ValueError(
+                        "timestamps/values must be equally sized 1-D arrays"
+                    )
+            if type(labels) is tuple:
+                normalized = label_cache.get(labels)
+                if normalized is None:
+                    normalized = label_cache[labels] = tuple(sorted(labels))
+            else:
+                normalized = _normalize_labels(labels)
+            key = (metric, normalized)
+            buf = series.get(key)
+            if buf is None:
+                buf = series[key] = _SeriesBuffer()
+            buf._ts.frombytes(ts.tobytes())
+            buf._vs.frombytes(vs.tobytes())
+            buf._finalized = None
+            n += len(ts)
         return n
 
     # -- reads ----------------------------------------------------------------
@@ -153,9 +283,37 @@ class MetricStore:
         self, metric: str, labels: dict[str, str] | Labels | None = None
     ) -> TimeSeries:
         """The exact series for (metric, labels); empty if absent."""
-        key = (metric, _normalize_labels(labels))
+        key = (metric, self._normalize_cached(labels))
         buf = self._series.get(key)
         return buf.series() if buf is not None else TimeSeries.empty()
+
+    def window(
+        self,
+        metric: str,
+        labels: dict[str, str] | Labels | None,
+        start: float,
+        end: float,
+    ) -> TimeSeries:
+        """Samples of one series within [start, end), LRU-cached.
+
+        The cache key includes the series' current sample count, so any
+        append invalidates every cached window of that series.
+        """
+        key = (metric, self._normalize_cached(labels))
+        buf = self._series.get(key)
+        if buf is None:
+            return TimeSeries.empty()
+        cache = self._range_cache
+        cache_key = (key, len(buf), start, end)
+        hit = cache.get(cache_key)
+        if hit is not None:
+            cache.move_to_end(cache_key)
+            return hit
+        result = buf.series().between(start, end)
+        cache[cache_key] = result
+        if len(cache) > RANGE_CACHE_SIZE:
+            cache.popitem(last=False)
+        return result
 
     def query_range(
         self,
@@ -164,8 +322,17 @@ class MetricStore:
         start: float,
         end: float,
     ) -> TimeSeries:
-        """Samples of one series within [start, end)."""
-        return self.query(metric, labels).between(start, end)
+        """Deprecated: use :func:`repro.telemetry.query.query_range`.
+
+        Kept as a shim for one release; delegates to :meth:`window`.
+        """
+        warnings.warn(
+            "MetricStore.query_range is deprecated; use "
+            "repro.telemetry.query.query_range (or MetricStore.window)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.window(metric, labels, start, end)
 
     def select(
         self, metric: str, matcher: dict[str, str] | None = None

@@ -1,0 +1,118 @@
+"""Tests for the bench harness (fast: tiny workloads, no long simulation)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    CHECK_BOUNDS,
+    PRE_PR_BASELINE,
+    REQUIRED_KEYS,
+    BenchConfig,
+    _request_stream,
+    bench_ingest,
+    bench_schedule,
+    check_results,
+    run_bench,
+    write_bench_json,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> BenchConfig:
+    """Small enough to run in seconds; sim stage disabled."""
+    return BenchConfig(
+        scale=0.02, requests=60, ingest_cycles=4, rounds=1, run_sim=False
+    )
+
+
+@pytest.fixture(scope="module")
+def payload(tiny_config):
+    return run_bench(tiny_config)
+
+
+class TestConfig:
+    def test_smoke_keeps_full_ingest_cycles(self):
+        assert BenchConfig.smoke().ingest_cycles == BenchConfig().ingest_cycles
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            BenchConfig().requests = 1
+
+    def test_request_stream_is_seed_deterministic(self):
+        a = _request_stream(30, seed=5)
+        b = _request_stream(30, seed=5)
+        assert [(s.vm_id, s.flavor.name) for s in a] == [
+            (s.vm_id, s.flavor.name) for s in b
+        ]
+        c = _request_stream(30, seed=6)
+        assert [s.flavor.name for s in a] != [s.flavor.name for s in c]
+
+
+class TestStages:
+    def test_schedule_stage_paths_agree(self, tiny_config):
+        out = bench_schedule(tiny_config)
+        assert out["placements_identical"]
+        assert out["schedule_requests"] == tiny_config.requests
+        assert out["schedule_requests_per_s"] > 0
+        assert out["schedule_stats"]["requests"] == tiny_config.requests
+
+    def test_ingest_stage_counts_agree(self, tiny_config):
+        out = bench_ingest(tiny_config)
+        assert out["ingest_samples"] > 0
+        assert out["telemetry_ingest_samples_per_s"] > 0
+        assert out["ingest_block_speedup_vs_per_sample"] > 0
+
+
+class TestPayload:
+    def test_required_keys_present(self, payload):
+        for key in REQUIRED_KEYS:
+            assert key in payload["results"], key
+        assert payload["bench"] == "scale"
+        assert payload["baseline_pre_pr"] == PRE_PR_BASELINE
+        assert payload["config"]["requests"] == 60
+
+    def test_baseline_speedups_derived(self, payload):
+        results = payload["results"]
+        assert results["schedule_requests_speedup_vs_baseline"] == pytest.approx(
+            results["schedule_requests_per_s"]
+            / PRE_PR_BASELINE["schedule_requests_per_s"]
+        )
+        assert "telemetry_ingest_samples_speedup_vs_baseline" in results
+
+    def test_sim_stage_skippable(self, payload):
+        assert "sim_wall_s" not in payload["results"]
+
+    def test_write_round_trips(self, payload, tmp_path):
+        path = tmp_path / "BENCH_scale.json"
+        write_bench_json(payload, str(path))
+        assert json.loads(path.read_text()) == payload
+
+
+class TestCheckResults:
+    def test_clean_payload_may_fail_only_on_ratio_bounds(self, payload):
+        # Tiny workloads can miss the perf ratios (fixed costs dominate);
+        # structural checks must still pass.
+        problems = check_results(payload)
+        for problem in problems:
+            assert "below required" in problem
+
+    def test_missing_key_reported(self):
+        problems = check_results({"results": {"placements_identical": True}})
+        assert any("missing or non-finite" in p for p in problems)
+
+    def test_divergent_placements_reported(self):
+        results = {key: 1.0 for key in REQUIRED_KEYS}
+        results.update({key: minimum for key, minimum in CHECK_BOUNDS})
+        results["placements_identical"] = False
+        problems = check_results({"results": results})
+        assert problems == ["indexed and legacy scheduling paths placed differently"]
+
+    def test_ratio_bound_enforced(self):
+        results = {key: 1.0 for key in REQUIRED_KEYS}
+        results["placements_identical"] = True
+        results["schedule_speedup_vs_legacy"] = 1.2
+        results["ingest_block_speedup_vs_per_sample"] = 99.0
+        problems = check_results({"results": results})
+        assert len(problems) == 1
+        assert "schedule_speedup_vs_legacy" in problems[0]

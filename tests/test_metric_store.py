@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.telemetry.store import MetricStore, Sample
+from repro.telemetry.store import MetricStore, Sample, SampleBlock
 from repro.telemetry.timeseries import TimeSeries
 
 
@@ -61,6 +61,59 @@ class TestWrites:
         store.append("m", None, 10, 2.0)
         assert len(store.query("m", None)) == 2
 
+    def test_append_columns(self):
+        store = MetricStore()
+        n = store.append_columns(
+            "m", {"x": "1"}, np.array([0.0, 10.0]), np.array([1.0, 2.0])
+        )
+        assert n == 2
+        assert list(store.query("m", {"x": "1"}).values) == [1.0, 2.0]
+
+    def test_append_columns_rejects_shape_mismatch(self):
+        store = MetricStore()
+        with pytest.raises(ValueError):
+            store.append_columns("m", None, np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_ingest_blocks_matches_per_sample_ingest(self):
+        ts = np.array([0.0, 10.0, 20.0])
+        vs = np.array([1.0, np.nan, 3.0])  # NaN staleness must survive
+        columnar = MetricStore()
+        n = columnar.ingest_blocks([SampleBlock("m", (("a", "b"),), ts, vs)])
+        assert n == 3
+        row_wise = MetricStore()
+        row_wise.ingest(
+            [Sample("m", (("a", "b"),), t, v) for t, v in zip(ts, vs)]
+        )
+        a = columnar.query("m", {"a": "b"})
+        b = row_wise.query("m", {"a": "b"})
+        assert list(a.timestamps) == list(b.timestamps)
+        np.testing.assert_array_equal(a.values, b.values)
+        assert np.isnan(a.values[1])
+
+    def test_ingest_blocks_rejects_shape_mismatch(self):
+        store = MetricStore()
+        with pytest.raises(ValueError):
+            store.ingest_blocks(
+                [SampleBlock("m", (), np.array([0.0, 1.0]), np.array([1.0]))]
+            )
+
+    def test_ingest_blocks_converts_plain_lists(self):
+        store = MetricStore()
+        n = store.ingest_blocks([SampleBlock("m", (), [0, 10], [1, 2])])
+        assert n == 2
+        assert list(store.query("m", None).values) == [1.0, 2.0]
+
+    def test_block_append_then_row_append_interleave(self):
+        # A row append after a bulk block append must not be lost or
+        # corrupt the buffer (the finalised array is a copy, not a view).
+        store = MetricStore()
+        store.ingest_blocks(
+            [SampleBlock("m", (), np.array([0.0, 10.0]), np.array([1.0, 2.0]))]
+        )
+        assert len(store.query("m", None)) == 2
+        store.append("m", None, 20.0, 3.0)
+        assert list(store.query("m", None).values) == [1.0, 2.0, 3.0]
+
 
 class TestReads:
     def test_missing_series_is_empty(self, store):
@@ -79,8 +132,25 @@ class TestReads:
         sets = store.labelsets("cpu")
         assert {d["host"] for d in sets} == {"n1", "n2"}
 
-    def test_query_range(self, store):
-        out = store.query_range("cpu", {"host": "n1", "dc": "a"}, 60, 121)
+    def test_window(self, store):
+        out = store.window("cpu", {"host": "n1", "dc": "a"}, 60, 121)
+        assert list(out.timestamps) == [60, 120]
+
+    def test_window_cache_serves_repeat_reads(self, store):
+        first = store.window("cpu", {"host": "n1", "dc": "a"}, 0, 121)
+        again = store.window("cpu", {"host": "n1", "dc": "a"}, 0, 121)
+        assert again is first  # LRU hit: identical object
+
+    def test_window_cache_invalidated_by_append(self, store):
+        first = store.window("cpu", {"host": "n1", "dc": "a"}, 0, 500)
+        store.append("cpu", {"host": "n1", "dc": "a"}, 180, 4.0)
+        fresh = store.window("cpu", {"host": "n1", "dc": "a"}, 0, 500)
+        assert fresh is not first
+        assert list(fresh.timestamps) == [0, 60, 120, 180]
+
+    def test_query_range_shim_warns_and_delegates(self, store):
+        with pytest.warns(DeprecationWarning, match="query_range is deprecated"):
+            out = store.query_range("cpu", {"host": "n1", "dc": "a"}, 60, 121)
         assert list(out.timestamps) == [60, 120]
 
     def test_select_with_matcher(self, store):

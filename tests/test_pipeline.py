@@ -3,6 +3,7 @@
 import pytest
 
 from repro.infrastructure.flavors import default_catalog
+from repro.scheduler.config import SchedulerConfig
 from repro.scheduler.pipeline import FilterScheduler, NoValidHost
 from repro.scheduler.placement import PlacementService, VCPU
 from repro.scheduler.request import RequestSpec
@@ -146,7 +147,9 @@ class TestScheduling:
         placement = PlacementService()
         for bb in tiny_region.iter_building_blocks():
             placement.register_building_block(bb)
-        scheduler = FilterScheduler(tiny_region, placement, max_attempts=1)
+        scheduler = FilterScheduler(
+            tiny_region, placement, SchedulerConfig(max_attempts=1)
+        )
         with pytest.raises(ValueError):
-            FilterScheduler(tiny_region, placement, max_attempts=0)
+            SchedulerConfig(max_attempts=0)
         assert scheduler.max_attempts == 1

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.telemetry.query import QueryError, evaluate
+from repro.telemetry.query import QueryError, evaluate, instant, query, query_range
 from repro.telemetry.store import MetricStore
 from repro.telemetry.timeseries import TimeSeries
 
@@ -112,6 +112,31 @@ class TestErrors:
         result = evaluate(store, "cpu_pct")
         with pytest.raises(QueryError, match="exactly one"):
             result.single()
+
+
+class TestProgrammaticFrontEnd:
+    """The module-level functions are the supported store-read surface."""
+
+    def test_query_returns_exact_series(self, store):
+        series = query(store, "cpu_pct", {"host": "a", "dc": "one"})
+        assert list(series.values) == [10, 20, 30, 40]
+
+    def test_query_range_half_open_window(self, store):
+        series = query_range(store, "cpu_pct", {"host": "a", "dc": "one"}, 60, 180)
+        assert list(series.timestamps) == [60, 120]
+
+    def test_query_range_matches_deprecated_store_shim(self, store):
+        via_front_end = query_range(
+            store, "cpu_pct", {"host": "b", "dc": "one"}, 0, 120
+        )
+        with pytest.warns(DeprecationWarning):
+            via_shim = store.query_range("cpu_pct", {"host": "b", "dc": "one"}, 0, 120)
+        assert list(via_front_end.timestamps) == list(via_shim.timestamps)
+        assert list(via_front_end.values) == list(via_shim.values)
+
+    def test_instant_reads_latest_at_or_before(self, store):
+        assert instant(store, "cpu_pct", {"host": "a", "dc": "one"}, 70.0) == 20
+        assert instant(store, "cpu_pct", {"host": "a", "dc": "one"}, -1.0) is None
 
 
 def test_real_metric_names_work(small_dataset):
