@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Determinism + invariant smoke gate for the resilience subsystem.
+#
+# Runs the seeded chaos scenario (correlated AZ/BB outages, a flapping
+# host, scrape partitions — with the resilience layer enabled) twice per
+# seed and fails if:
+#   - any run exits non-zero (invariant violations), or
+#   - the summary JSON is not byte-identical (sha256 comparison).
+# Used by the tier-1 CI chaos-smoke job; runnable locally from the repo
+# root:
+#
+#     sh scripts/check_chaos_determinism.sh [seed ...]
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+seeds="${*:-7 11}"
+days="${CHAOS_DAYS:-0.5}"
+status=0
+
+for seed in $seeds; do
+    a=$(python -m repro.cli chaos --days "$days" --seed "$seed" --json-only | sha256sum | cut -d' ' -f1)
+    b=$(python -m repro.cli chaos --days "$days" --seed "$seed" --json-only | sha256sum | cut -d' ' -f1)
+    if [ "$a" = "$b" ]; then
+        echo "seed $seed: deterministic, zero invariant violations ($a)"
+    else
+        echo "seed $seed: NONDETERMINISTIC ($a != $b)" >&2
+        status=1
+    fi
+done
+
+exit $status

@@ -20,6 +20,13 @@ Subcommands::
     repro faults [--days D] [--seed N] [--failure-rate R] [--out FILE]
         Run a fault-injection scenario (host failures, migration aborts,
         telemetry gaps) and print the deterministic FaultReport JSON.
+        Exits non-zero, with a summary table, when VMs were dead-lettered.
+
+    repro chaos [--days D] [--seed N] [--json-only] [--out FILE]
+        Run the correlated-failure chaos scenario (AZ/BB outages, a
+        flapping host, scrape partitions) with the resilience layer on
+        and print the deterministic summary JSON.  Exits non-zero on
+        invariant violations.
 
     repro bench [--smoke] [--check] [--out BENCH_scale.json]
         Time the scheduling, telemetry-ingest, and simulation hot paths on
@@ -180,7 +187,75 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(f"Wrote {args.out}", file=sys.stderr)
     else:
         print(payload)
+    if report.dead_letters:
+        # Unrecovered VMs are an operator-facing failure: summarise them
+        # and exit non-zero so scripts and CI notice.
+        print(_dead_letter_table(report), file=sys.stderr)
+        return 1
     return 0
+
+
+def _dead_letter_table(report) -> str:
+    """Fixed-width summary of the dead-letter queue."""
+    rows = sorted(report.dead_letters, key=lambda d: d.vm_id)
+    lines = [
+        f"{len(rows)} VM(s) dead-lettered (evacuation budget exhausted):",
+        f"  {'vm_id':<18} {'failed host':<22} {'attempts':>8} {'failed at':>12} "
+        f"{'dead-lettered':>14}",
+    ]
+    for d in rows:
+        lines.append(
+            f"  {d.vm_id:<18} {d.failed_host:<22} {d.attempts:>8} "
+            f"{d.failed_at:>12.0f} {d.dead_lettered_at:>14.0f}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.resilience.chaos import (
+        ChaosConfig,
+        chaos_summary_json,
+        default_chaos_faults,
+        default_chaos_resilience,
+        run_chaos_scenario,
+    )
+
+    faults = (
+        default_chaos_faults(args.fault_seed)
+        if args.fault_seed is not None
+        else default_chaos_faults()
+    )
+    resilience = default_chaos_resilience()
+    if args.no_fail_fast:
+        resilience = replace(resilience, fail_fast=False)
+    config = ChaosConfig(
+        duration_days=args.days,
+        seed=args.seed,
+        faults=faults,
+        resilience=resilience,
+    )
+    if not args.json_only:
+        print(
+            f"Running chaos scenario: 2 AZs x {config.building_blocks_per_az} "
+            f"BBs x {config.nodes_per_bb} nodes, {args.days} days, "
+            f"seed {args.seed} ...",
+            file=sys.stderr,
+        )
+    result = run_chaos_scenario(config)
+    report = result.resilience_report
+    if not args.json_only:
+        print(report.render(), file=sys.stderr)
+        print(result.fault_report.render(), file=sys.stderr)
+    payload = chaos_summary_json(result)
+    if args.out:
+        Path(args.out).write_text(payload + "\n")
+        if not args.json_only:
+            print(f"Wrote {args.out}", file=sys.stderr)
+    else:
+        print(payload)
+    return 1 if report.violations else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -283,6 +358,28 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--evac-retries", type=int, default=5)
     faults.add_argument("--out", default=None, help="write report JSON here")
     faults.set_defaults(func=_cmd_faults)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the correlated-failure chaos scenario with the "
+        "resilience layer enabled",
+    )
+    chaos.add_argument("--days", type=float, default=1.0)
+    chaos.add_argument("--seed", type=int, default=7, help="workload seed")
+    chaos.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="injector seed (defaults to the canonical chaos seed)",
+    )
+    chaos.add_argument(
+        "--json-only", action="store_true",
+        help="suppress the stderr summaries; print only the summary JSON",
+    )
+    chaos.add_argument(
+        "--no-fail-fast", action="store_true",
+        help="record invariant violations instead of raising on the first",
+    )
+    chaos.add_argument("--out", default=None, help="write summary JSON here")
+    chaos.set_defaults(func=_cmd_chaos)
 
     bench = sub.add_parser(
         "bench", help="benchmark the scheduling/telemetry/simulation hot paths"

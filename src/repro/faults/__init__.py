@@ -1,6 +1,6 @@
 """Seeded, deterministic fault injection for the regional simulation.
 
-The subsystem has five parts:
+The subsystem's parts:
 
 - :class:`~repro.faults.config.FaultConfig` — hazard rates and recovery
   knobs, one frozen dataclass;
@@ -10,6 +10,9 @@ The subsystem has five parts:
   fraction of live migrations mid-precopy;
 - :class:`~repro.faults.telemetry.TelemetryFaultModel` — scrape gaps and
   stale-exporter injection for the metric pipeline;
+- :mod:`repro.faults.domains` — correlated failure domains: AZ/rack-scoped
+  outages and :class:`~repro.faults.domains.ScrapePartition`, the
+  exporter↔store partition that blackholes a whole domain's scrapes;
 - :class:`~repro.faults.evacuation.EvacuationManager` — retries stranded
   VMs through the scheduler with backoff, dead-lettering the unplaceable.
 
@@ -20,6 +23,7 @@ end-to-end scenario used by the CLI, the example, and the CI smoke test.
 """
 
 from repro.faults.config import FaultConfig
+from repro.faults.domains import ScrapePartition, domain_ids, domain_members
 from repro.faults.evacuation import EvacuationManager
 from repro.faults.injector import FaultInjector
 from repro.faults.migration import AbortedMigration, MigrationFaultModel
@@ -34,5 +38,8 @@ __all__ = [
     "FaultInjector",
     "FaultReport",
     "MigrationFaultModel",
+    "ScrapePartition",
     "TelemetryFaultModel",
+    "domain_ids",
+    "domain_members",
 ]

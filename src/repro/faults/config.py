@@ -44,6 +44,31 @@ class FaultConfig:
     #: ``evac_batch_spacing_s`` later per batch (bounded recovery bandwidth).
     max_concurrent_evacuations: int = 8
     evac_batch_spacing_s: float = 60.0
+    # -- correlated failure domains ---------------------------------------
+    #: Expected AZ-scoped outages per day (Poisson): every healthy node in
+    #: one availability zone fails at once and recovers as a unit.
+    az_outage_rate_per_day: float = 0.0
+    #: Expected building-block-scoped (rack) outages per day.
+    bb_outage_rate_per_day: float = 0.0
+    #: Mean / floor of a domain outage's duration (exponential draw).
+    domain_outage_duration_mean_s: float = 1800.0
+    domain_outage_duration_min_s: float = 300.0
+    #: Expected exporter↔store network partitions per day: every scrape
+    #: from the partitioned domain is blackholed until the partition heals.
+    partition_rate_per_day: float = 0.0
+    partition_duration_mean_s: float = 1800.0
+    partition_duration_min_s: float = 120.0
+    #: Scope of a partition victim: "bb" (one building block) or "az".
+    partition_scope: str = "bb"
+    # -- targeted flapping ------------------------------------------------
+    #: Number of nodes afflicted with deterministic fail/recover
+    #: oscillation (exercises flap detection + quarantine end-to-end).
+    flapping_hosts: int = 0
+    #: Full fail→recover cycle length for a flapping host; the host is
+    #: down for half of each cycle.
+    flapping_period_s: float = 1200.0
+    #: Fail/recover cycles per flapping host before it settles.
+    flapping_cycles: int = 4
 
     def __post_init__(self) -> None:
         if self.host_failure_rate_per_day < 0:
@@ -63,6 +88,23 @@ class FaultConfig:
             raise ValueError("max_concurrent_evacuations must be >= 1")
         if self.evac_batch_spacing_s < 0:
             raise ValueError("evac_batch_spacing_s must be >= 0")
+        if self.az_outage_rate_per_day < 0 or self.bb_outage_rate_per_day < 0:
+            raise ValueError("domain outage rates must be >= 0")
+        if (
+            self.domain_outage_duration_mean_s <= 0
+            or self.domain_outage_duration_min_s < 0
+        ):
+            raise ValueError("domain outage durations must be positive")
+        if self.partition_rate_per_day < 0:
+            raise ValueError("partition_rate_per_day must be >= 0")
+        if self.partition_duration_mean_s <= 0 or self.partition_duration_min_s < 0:
+            raise ValueError("partition durations must be positive")
+        if self.partition_scope not in ("bb", "az"):
+            raise ValueError("partition_scope must be 'bb' or 'az'")
+        if self.flapping_hosts < 0 or self.flapping_cycles < 1:
+            raise ValueError("flapping_hosts must be >= 0 and cycles >= 1")
+        if self.flapping_period_s <= 0:
+            raise ValueError("flapping_period_s must be positive")
 
     @property
     def any_faults(self) -> bool:
@@ -72,4 +114,8 @@ class FaultConfig:
             or self.migration_abort_fraction > 0
             or self.scrape_gap_probability > 0
             or self.stale_node_probability > 0
+            or self.az_outage_rate_per_day > 0
+            or self.bb_outage_rate_per_day > 0
+            or self.partition_rate_per_day > 0
+            or self.flapping_hosts > 0
         )

@@ -5,18 +5,29 @@ set up; the *victim* of each failure is drawn when the event fires, from
 the nodes healthy at that moment.  Both draws come from the injector's
 private seeded RNG, so the full fault trace is a pure function of
 (config, topology, event order) and replays byte-identically.
+
+Every draw-at-fire-time path degrades gracefully: when no eligible victim
+remains (all nodes down, draining, or quarantined; every domain already
+dark) the draw is a counted no-op (``skipped_draws``) instead of an
+exception mid-simulation — a chaos run must never be killed by its own
+chaos.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.faults.config import FaultConfig
-from repro.infrastructure.hierarchy import ComputeNode
+from repro.faults.domains import domain_ids, domain_members
+from repro.infrastructure.hierarchy import ComputeNode, Region
 from repro.simulation.engine import SimulationEngine
-from repro.simulation.events import HOST_FAIL
+from repro.simulation.events import (
+    DOMAIN_FAIL,
+    HOST_FAIL,
+    PARTITION_START,
+)
 
 
 class FaultInjector:
@@ -26,14 +37,24 @@ class FaultInjector:
         self.config = config
         self.rng = np.random.default_rng(config.seed)
         self.scheduled_failures = 0
+        self.scheduled_domain_outages = 0
+        self.scheduled_partitions = 0
+        self.scheduled_flap_events = 0
+        #: Draws that found no eligible victim and were skipped (satellite:
+        #: graceful no-op instead of raising mid-simulation).
+        self.skipped_draws = 0
 
     # -- scheduling -----------------------------------------------------------
 
-    def schedule_host_failures(
-        self, engine: SimulationEngine, start: float, end: float
+    def _schedule_poisson(
+        self,
+        engine: SimulationEngine,
+        start: float,
+        end: float,
+        rate_s: float,
+        kind: str,
+        **payload,
     ) -> int:
-        """Enqueue HOST_FAIL events over [start, end); returns the count."""
-        rate_s = self.config.host_failure_rate_per_day / 86_400.0
         if rate_s <= 0 or end <= start:
             return 0
         n = 0
@@ -42,21 +63,167 @@ class FaultInjector:
             t += float(self.rng.exponential(1.0 / rate_s))
             if t >= end:
                 break
-            engine.schedule(t, HOST_FAIL)
+            engine.schedule(t, kind, **payload)
             n += 1
+        return n
+
+    def schedule_host_failures(
+        self, engine: SimulationEngine, start: float, end: float
+    ) -> int:
+        """Enqueue HOST_FAIL events over [start, end); returns the count."""
+        rate_s = self.config.host_failure_rate_per_day / 86_400.0
+        n = self._schedule_poisson(engine, start, end, rate_s, HOST_FAIL)
         self.scheduled_failures += n
+        return n
+
+    def schedule_domain_outages(
+        self, engine: SimulationEngine, start: float, end: float
+    ) -> int:
+        """Enqueue correlated AZ- and BB-scoped DOMAIN_FAIL events."""
+        n = self._schedule_poisson(
+            engine,
+            start,
+            end,
+            self.config.az_outage_rate_per_day / 86_400.0,
+            DOMAIN_FAIL,
+            scope="az",
+        )
+        n += self._schedule_poisson(
+            engine,
+            start,
+            end,
+            self.config.bb_outage_rate_per_day / 86_400.0,
+            DOMAIN_FAIL,
+            scope="bb",
+        )
+        self.scheduled_domain_outages += n
+        return n
+
+    def schedule_partitions(
+        self, engine: SimulationEngine, start: float, end: float
+    ) -> int:
+        """Enqueue exporter↔store PARTITION_START events."""
+        n = self._schedule_poisson(
+            engine,
+            start,
+            end,
+            self.config.partition_rate_per_day / 86_400.0,
+            PARTITION_START,
+            scope=self.config.partition_scope,
+        )
+        self.scheduled_partitions += n
+        return n
+
+    def schedule_flapping(
+        self, engine: SimulationEngine, start: float, region: Region
+    ) -> int:
+        """Afflict ``flapping_hosts`` nodes with a deterministic fail cycle.
+
+        Victims are drawn once, seeded, from the sorted node list; each gets
+        ``flapping_cycles`` HOST_FAIL events spaced ``flapping_period_s``
+        apart with a targeted half-period repair — the oscillation the host
+        health service must detect and quarantine.
+        """
+        count = self.config.flapping_hosts
+        if count < 1:
+            return 0
+        node_ids = sorted(n.node_id for n in region.iter_nodes())
+        if not node_ids:
+            return 0
+        picks = self.rng.choice(
+            len(node_ids), size=min(count, len(node_ids)), replace=False
+        )
+        period = self.config.flapping_period_s
+        n = 0
+        for offset, idx in enumerate(sorted(int(i) for i in picks)):
+            node_id = node_ids[idx]
+            # Stagger victims half a period apart so their evacuation bursts
+            # do not all land on the same instant.
+            first = start + period * (0.25 + 0.5 * offset)
+            for cycle in range(self.config.flapping_cycles):
+                engine.schedule(
+                    first + cycle * period,
+                    HOST_FAIL,
+                    node_id=node_id,
+                    repair_s=period / 2.0,
+                )
+                n += 1
+        self.scheduled_flap_events += n
         return n
 
     # -- draws at fire time ----------------------------------------------------
 
     def pick_victim(self, nodes: Iterable[ComputeNode]) -> ComputeNode | None:
-        """A uniformly random healthy node, or None if all are down."""
+        """A uniformly random healthy (non-quarantined) node.
+
+        Returns None — bumping ``skipped_draws`` — when nothing is
+        eligible, so a failure event firing into an already-dark region is
+        a graceful no-op.
+        """
         healthy = [n for n in nodes if n.healthy]
         if not healthy:
+            self.skipped_draws += 1
             return None
         return healthy[int(self.rng.integers(0, len(healthy)))]
+
+    def pick_domain(self, region: Region, scope: str) -> str | None:
+        """A uniformly random domain with at least one healthy node.
+
+        Like :meth:`pick_victim`, a draw with no live domain left is a
+        counted no-op rather than an error.
+        """
+        eligible = [
+            d
+            for d in domain_ids(region, scope)
+            if any(n.healthy for n in domain_members(region, scope, d))
+        ]
+        if not eligible:
+            self.skipped_draws += 1
+            return None
+        return eligible[int(self.rng.integers(0, len(eligible)))]
+
+    def pick_partition_domain(self, region: Region, scope: str) -> str | None:
+        """A uniformly random domain to partition (any non-empty one).
+
+        A partition does not need healthy members — cutting off a
+        recovering domain is a perfectly good fault — only existing ones.
+        """
+        eligible = [
+            d
+            for d in domain_ids(region, scope)
+            if domain_members(region, scope, d)
+        ]
+        if not eligible:
+            self.skipped_draws += 1
+            return None
+        return eligible[int(self.rng.integers(0, len(eligible)))]
+
+    def targeted_victim(
+        self, nodes: Sequence[ComputeNode] | dict[str, ComputeNode], node_id: str
+    ) -> ComputeNode | None:
+        """Resolve a targeted (flapping) victim; no-op if not healthy now."""
+        if isinstance(nodes, dict):
+            node = nodes.get(node_id)
+        else:
+            node = next((n for n in nodes if n.node_id == node_id), None)
+        if node is None or not node.healthy:
+            self.skipped_draws += 1
+            return None
+        return node
 
     def draw_repair_time(self) -> float:
         """Exponential time-to-repair, floored at the configured minimum."""
         draw = float(self.rng.exponential(self.config.repair_time_mean_s))
         return max(self.config.repair_time_min_s, draw)
+
+    def draw_outage_duration(self) -> float:
+        """Exponential domain-outage duration, floored at the minimum."""
+        draw = float(
+            self.rng.exponential(self.config.domain_outage_duration_mean_s)
+        )
+        return max(self.config.domain_outage_duration_min_s, draw)
+
+    def draw_partition_duration(self) -> float:
+        """Exponential partition duration, floored at the minimum."""
+        draw = float(self.rng.exponential(self.config.partition_duration_mean_s))
+        return max(self.config.partition_duration_min_s, draw)

@@ -46,6 +46,17 @@ class FaultReport:
     migrations_aborted: int = 0
     scrape_gaps: int = 0
     stale_node_scrapes: int = 0
+    # -- correlated failure domains ---------------------------------------
+    az_outages: int = 0
+    bb_outages: int = 0
+    #: ``scope:domain_id`` of every fired domain outage.
+    outage_domains: list[str] = field(default_factory=list)
+    #: Nodes taken down by domain outages (also counted in host_failures).
+    domain_nodes_failed: int = 0
+    partitions: int = 0
+    blackholed_scrapes: int = 0
+    #: Victim/domain draws skipped because nothing eligible remained.
+    skipped_draws: int = 0
     # -- recovery ---------------------------------------------------------
     evacuations_requested: int = 0
     evacuations_succeeded: int = 0
@@ -101,6 +112,13 @@ class FaultReport:
             "migrations_aborted": self.migrations_aborted,
             "scrape_gaps": self.scrape_gaps,
             "stale_node_scrapes": self.stale_node_scrapes,
+            "az_outages": self.az_outages,
+            "bb_outages": self.bb_outages,
+            "outage_domains": sorted(self.outage_domains),
+            "domain_nodes_failed": self.domain_nodes_failed,
+            "partitions": self.partitions,
+            "blackholed_scrapes": self.blackholed_scrapes,
+            "skipped_draws": self.skipped_draws,
             "evacuations_requested": self.evacuations_requested,
             "evacuations_succeeded": self.evacuations_succeeded,
             "evacuation_retries": self.evacuation_retries,
@@ -128,6 +146,10 @@ class FaultReport:
             f"{self.migrations_aborted} aborted mid-precopy",
             f"  telemetry          {self.scrape_gaps} scrape gaps, "
             f"{self.stale_node_scrapes} stale node scrapes",
+            f"  domains            {self.az_outages} AZ + {self.bb_outages} BB "
+            f"outages ({self.domain_nodes_failed} nodes), "
+            f"{self.partitions} partitions "
+            f"({self.blackholed_scrapes} scrapes blackholed)",
             f"  evacuations        {self.evacuations_succeeded}/"
             f"{self.evacuations_requested} succeeded "
             f"({self.evacuation_retries} retries)",

@@ -49,19 +49,23 @@ class ComputeNode:
     #: Hard failure (hypervisor down): resident VMs must be evacuated and no
     #: new placements may land here until recovery clears the flag.
     failed: bool = False
+    #: Control-plane fence: the host health service quarantines nodes that
+    #: flap (fail/recover oscillation).  A quarantined node keeps its
+    #: resident VMs but accepts no new placements until re-admitted.
+    quarantined: bool = False
 
     def __setattr__(self, name: str, value) -> None:
         # Flipping a health flag must invalidate any scheduler-side cache;
-        # writes to these two fields are rare, so the hook costs nothing
+        # writes to these fields are rare, so the hook costs nothing
         # where it matters.
-        if name == "failed" or name == "maintenance":
+        if name == "failed" or name == "maintenance" or name == "quarantined":
             _bump_node_epoch()
         object.__setattr__(self, name, value)
 
     @property
     def healthy(self) -> bool:
-        """Neither draining for maintenance nor failed."""
-        return not self.maintenance and not self.failed
+        """Neither draining, failed, nor fenced off by quarantine."""
+        return not self.maintenance and not self.failed and not self.quarantined
 
     def allocated(self) -> Capacity:
         """Sum of resources requested by resident VMs."""

@@ -1,0 +1,157 @@
+"""Admission control in front of the scheduler.
+
+Every placement request passes through the :class:`AdmissionController`
+before it reaches :class:`~repro.scheduler.pipeline.FilterScheduler`.
+Three defences, in order:
+
+1. **Global circuit breaker** — after ``breaker_threshold`` consecutive
+   ``NoValidHost`` outcomes the scheduler is presumed saturated and
+   requests are shed for a cooldown rather than burning filter cycles.
+2. **Token bucket** — a seeded-jitter rate limit; an empty bucket sheds
+   the request with a computed ``retry_after`` instead of queueing it.
+3. **Per-building-block breakers** — consecutive failed *claims* on one
+   block (races, capacity flapping) open a per-block circuit; open blocks
+   are added to the request's exclusion set so retries route around them.
+
+Shed requests are never silently dropped: :class:`AdmissionRejected`
+carries ``retry_after_s`` and the caller (the simulation runner) either
+reschedules the request or counts it deadline-expired.  Load is thereby
+bounded without unbounded queues — the reality-check the paper's
+operational sections call for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+import numpy as np
+
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.report import ResilienceReport
+from repro.scheduler.request import RequestSpec
+
+
+class AdmissionRejected(Exception):
+    """Request shed before scheduling; retry after ``retry_after_s``."""
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        super().__init__(f"admission rejected ({reason}); "
+                         f"retry after {retry_after_s:.1f}s")
+
+
+class AdmissionController:
+    """Token-bucket rate limiting plus circuit breakers for placement."""
+
+    def __init__(
+        self,
+        scheduler: Any,
+        config: ResilienceConfig,
+        report: ResilienceReport,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.config = config
+        self.report = report
+        self.rng = rng if rng is not None else np.random.default_rng(config.seed)
+        # Token bucket (rate 0 disables it).
+        self._tokens = float(config.admission_burst)
+        self._last_refill = 0.0
+        # Global breaker state.
+        self._novalid_streak = 0
+        self._breaker_open_until = 0.0
+        # Per-building-block breaker state.
+        self._bb_fail_streak: dict[str, int] = {}
+        self._bb_open_until: dict[str, float] = {}
+        # Sim-clock snapshot, advanced on every submit.  Claim feedback from
+        # scheduler calls that bypass admission (evacuation) reuses the last
+        # submit time, which is at most one event behind.
+        self._now = 0.0
+        # Observe claim outcomes from inside the scheduler's retry loop.
+        observer = getattr(scheduler, "claim_observer", "absent")
+        if observer is None:
+            scheduler.claim_observer = self._on_claim
+
+    # -- claim feedback ------------------------------------------------------
+
+    def _on_claim(self, host_id: str, ok: bool) -> None:
+        if ok:
+            self._bb_fail_streak.pop(host_id, None)
+            return
+        streak = self._bb_fail_streak.get(host_id, 0) + 1
+        self._bb_fail_streak[host_id] = streak
+        if streak >= self.config.bb_breaker_threshold:
+            self._bb_open_until[host_id] = (
+                self._now + self.config.bb_breaker_cooldown_s
+            )
+            self._bb_fail_streak[host_id] = 0
+            self.report.bb_breaker_opens += 1
+
+    def open_bb_circuits(self, now: float) -> frozenset[str]:
+        """Building blocks currently excluded by an open breaker."""
+        return frozenset(
+            bb for bb, until in self._bb_open_until.items() if until > now
+        )
+
+    # -- token bucket --------------------------------------------------------
+
+    def _refill(self, now: float) -> None:
+        rate = self.config.admission_rate_per_s
+        if rate <= 0:
+            return
+        self._tokens = min(
+            float(self.config.admission_burst),
+            self._tokens + (now - self._last_refill) * rate,
+        )
+        self._last_refill = now
+
+    def _retry_jitter(self) -> float:
+        if self.config.admission_retry_jitter_s <= 0:
+            return 0.0
+        return float(self.rng.uniform(0, self.config.admission_retry_jitter_s))
+
+    # -- the front door ------------------------------------------------------
+
+    def submit(self, spec: RequestSpec, now: float):
+        """Admit ``spec`` to the scheduler or shed it with a retry hint.
+
+        Returns whatever ``scheduler.schedule`` returns.  Raises
+        :class:`AdmissionRejected` when shed, and re-raises the
+        scheduler's own ``NoValidHost`` after updating breaker state.
+        """
+        self._now = now
+        self.report.requests_submitted += 1
+
+        if self._breaker_open_until > now:
+            self.report.shed_breaker += 1
+            raise AdmissionRejected(
+                "breaker_open",
+                (self._breaker_open_until - now) + self._retry_jitter(),
+            )
+
+        if self.config.admission_rate_per_s > 0:
+            self._refill(now)
+            if self._tokens < 1.0:
+                self.report.shed_rate_limit += 1
+                deficit = (1.0 - self._tokens) / self.config.admission_rate_per_s
+                raise AdmissionRejected("rate_limit", deficit + self._retry_jitter())
+            self._tokens -= 1.0
+
+        open_bbs = self.open_bb_circuits(now) - spec.excluded_hosts
+        if open_bbs:
+            spec = replace(spec, excluded_hosts=spec.excluded_hosts | open_bbs)
+
+        self.report.requests_admitted += 1
+        try:
+            result = self.scheduler.schedule(spec)
+        except Exception:
+            self._novalid_streak += 1
+            if self._novalid_streak >= self.config.breaker_threshold:
+                self._breaker_open_until = now + self.config.breaker_cooldown_s
+                self._novalid_streak = 0
+                self.report.breaker_opens += 1
+            raise
+        self._novalid_streak = 0
+        return result

@@ -1,0 +1,160 @@
+"""Continuous invariant checking over the live simulation state.
+
+The checker runs as a recurring simulation event (and once more at the
+end of every run) and asserts the structural properties that must hold
+at *every* instant, no matter which faults fired:
+
+- ``single-placement`` — no VM is resident on two nodes, and a resident
+  VM's placement allocation points at the building block it lives in;
+- ``capacity`` — no resource provider's free capacity is negative;
+- ``error-vm-tracked`` — every VM in ERROR is either dead-lettered or
+  has an evacuation retry still queued (nothing falls off the radar);
+- ``quarantine-fence`` — a quarantined node holds no VM that was not
+  already resident when the fence went up.
+
+Violations become structured :class:`InvariantViolation` records on the
+:class:`ResilienceReport`; in ``fail_fast`` mode the check raises
+:class:`InvariantViolationError` immediately so a broken run dies loudly
+instead of producing plausible-looking numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.infrastructure.vm import VMState
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.report import (
+    InvariantViolation,
+    InvariantViolationError,
+    ResilienceReport,
+)
+from repro.simulation.events import EVAC_RETRY
+
+_EPS = 1e-6
+
+
+class InvariantChecker:
+    """Sweeps the simulation's ground truth for structural violations."""
+
+    def __init__(
+        self,
+        sim: Any,
+        config: ResilienceConfig,
+        report: ResilienceReport,
+        health: Any = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.report = report
+        self.health = health
+
+    def check(self, now: float) -> list[InvariantViolation]:
+        """Run every invariant once; record, and raise when fail-fast."""
+        self.report.invariant_checks += 1
+        found: list[InvariantViolation] = []
+        found += self._check_single_placement(now)
+        found += self._check_capacity(now)
+        found += self._check_error_vms(now)
+        found += self._check_quarantine_fence(now)
+        for violation in found:
+            self.report.record_violation(violation)
+        if found and self.config.fail_fast:
+            raise InvariantViolationError(found)
+        return found
+
+    # -- individual invariants ------------------------------------------------
+
+    def _residency(self) -> dict[str, list[Any]]:
+        """vm_id -> nodes currently claiming residency (ground truth)."""
+        residency: dict[str, list[Any]] = {}
+        for node in self.sim.region.iter_nodes():
+            for vm_id in node.vms:
+                residency.setdefault(vm_id, []).append(node)
+        return residency
+
+    def _check_single_placement(self, now: float) -> list[InvariantViolation]:
+        out: list[InvariantViolation] = []
+        residency = self._residency()
+        for vm_id in sorted(residency):
+            nodes = residency[vm_id]
+            if len(nodes) > 1:
+                out.append(InvariantViolation(
+                    invariant="single-placement",
+                    subject=vm_id,
+                    detail="resident on "
+                    + ", ".join(sorted(n.node_id for n in nodes)),
+                    time=now,
+                ))
+                continue
+            allocation = self.sim.placement.allocation_for(vm_id)
+            bb_id = nodes[0].building_block
+            if allocation is not None and allocation.provider_id != bb_id:
+                out.append(InvariantViolation(
+                    invariant="single-placement",
+                    subject=vm_id,
+                    detail=f"resident in {bb_id} but allocated on "
+                    f"{allocation.provider_id}",
+                    time=now,
+                ))
+        return out
+
+    def _check_capacity(self, now: float) -> list[InvariantViolation]:
+        out: list[InvariantViolation] = []
+        for provider in sorted(
+            self.sim.placement.providers(), key=lambda p: p.provider_id
+        ):
+            for rc in sorted(provider.inventory):
+                free = provider.free(rc)
+                if free < -_EPS:
+                    out.append(InvariantViolation(
+                        invariant="capacity",
+                        subject=provider.provider_id,
+                        detail=f"negative free {rc}: {free:.3f}",
+                        time=now,
+                    ))
+        return out
+
+    def _check_error_vms(self, now: float) -> list[InvariantViolation]:
+        out: list[InvariantViolation] = []
+        fault_report = getattr(self.sim, "fault_report", None)
+        dead = (
+            set(fault_report.dead_lettered_vms) if fault_report is not None else set()
+        )
+        pending: set[str] = {
+            event.payload["vm_id"]
+            for event in self.sim.engine.iter_pending(EVAC_RETRY)
+        }
+        vms = getattr(self.sim, "vms", {})
+        for vm_id in sorted(vms):
+            vm = vms[vm_id]
+            if vm.state is not VMState.ERROR:
+                continue
+            if vm_id not in dead and vm_id not in pending:
+                out.append(InvariantViolation(
+                    invariant="error-vm-tracked",
+                    subject=vm_id,
+                    detail="in ERROR with no queued evacuation and not "
+                    "dead-lettered",
+                    time=now,
+                ))
+        return out
+
+    def _check_quarantine_fence(self, now: float) -> list[InvariantViolation]:
+        if self.health is None:
+            return []
+        out: list[InvariantViolation] = []
+        snapshots = self.health.quarantine_residents
+        for node in self.sim.region.iter_nodes():
+            if not node.quarantined:
+                continue
+            allowed = snapshots.get(node.node_id, frozenset())
+            intruders = sorted(set(node.vms) - set(allowed))
+            if intruders:
+                out.append(InvariantViolation(
+                    invariant="quarantine-fence",
+                    subject=node.node_id,
+                    detail="placed while quarantined: " + ", ".join(intruders),
+                    time=now,
+                ))
+        return out

@@ -212,6 +212,29 @@ class RetryFilter(Filter):
         return bool(spec.excluded_hosts)
 
 
+class QuarantineFilter(Filter):
+    """Rejects hosts fenced by the host health service.
+
+    Holds a reference to anything exposing ``quarantined_hosts`` (a set of
+    host ids — building blocks and/or nodes, so the filter serves both the
+    BB-level FilterScheduler and node-level schedulers).  The set is read
+    live on every pass: quarantine decisions take effect on the next
+    request without any filter rewiring.
+    """
+
+    name = "QuarantineFilter"
+    cost = 0
+
+    def __init__(self, health) -> None:
+        self.health = health
+
+    def passes(self, host: HostState, spec: RequestSpec) -> bool:
+        return host.host_id not in self.health.quarantined_hosts
+
+    def relevant(self, spec: RequestSpec) -> bool:
+        return bool(self.health.quarantined_hosts)
+
+
 def default_filters() -> list[Filter]:
     """The filter chain used by the SAP-like deployment."""
     return [

@@ -142,7 +142,9 @@ class HostStateIndex:
                 dirty.add(bb_id)
                 continue
             vm_count = sum(map(len, scan_vms[bb_id]))
-            healthy = any(not (n.maintenance or n.failed) for n in nodes)
+            healthy = any(
+                not (n.maintenance or n.failed or n.quarantined) for n in nodes
+            )
             if fingerprints.get(bb_id) != (vm_count, healthy):
                 dirty.add(bb_id)
 

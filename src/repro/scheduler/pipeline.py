@@ -123,6 +123,10 @@ class FilterScheduler:
             HostStateIndex(region, placement) if config.use_index else None
         )
         self._pipelines: dict[str, WeigherPipeline] = {}
+        #: Optional ``(host_id, ok)`` callback fired after every claim
+        #: attempt in :meth:`schedule` — admission control's per-building-
+        #: block circuit breakers listen here.
+        self.claim_observer = None
 
     # -- host collection -----------------------------------------------------
 
@@ -229,9 +233,13 @@ class FilterScheduler:
             except AllocationError:
                 # The greedy pick raced with another claim; exclude and retry.
                 self.stats["retries"] += 1
+                if self.claim_observer is not None:
+                    self.claim_observer(best.host_id, False)
                 current = current.excluding(best.host_id)
                 continue
             self.stats["placed"] += 1
+            if self.claim_observer is not None:
+                self.claim_observer(best.host_id, True)
             return SchedulingResult(
                 vm_id=spec.vm_id,
                 host_id=best.host_id,

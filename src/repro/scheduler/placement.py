@@ -240,6 +240,14 @@ class PlacementService:
         """Every allocation currently booked on one provider."""
         return [a for a in self._allocations.values() if a.provider_id == provider_id]
 
+    def all_allocations(self) -> list[Allocation]:
+        """Every allocation in the store, sorted by consumer for determinism.
+
+        Audit surface for the inventory reconciler, which diffs this list
+        against ground-truth node residency.
+        """
+        return [self._allocations[cid] for cid in sorted(self._allocations)]
+
     def usage_report(self) -> dict[str, dict[str, float]]:
         """Per-provider used/capacity fractions for each resource class."""
         report: dict[str, dict[str, float]] = {}

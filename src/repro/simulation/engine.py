@@ -66,6 +66,17 @@ class SimulationEngine:
         """Timestamp of the next pending event, or None when idle."""
         return self._queue[0].time if self._queue else None
 
+    def iter_pending(self, kind: str | None = None) -> list[Event]:
+        """Snapshot of queued events (optionally one kind), unordered.
+
+        Used by the invariant checker to verify that every ERROR VM still
+        has a recovery event in flight; the heap's internal order is not
+        meaningful, so callers must not rely on it.
+        """
+        if kind is None:
+            return list(self._queue)
+        return [e for e in self._queue if e.kind == kind]
+
     def step(self) -> Event | None:
         """Process one event; returns it, or None when the queue is empty."""
         if not self._queue:

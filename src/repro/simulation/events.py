@@ -18,6 +18,21 @@ MAINT_END = "maintenance.end"
 HOST_FAIL = "host.fail"
 HOST_RECOVER = "host.recover"
 EVAC_RETRY = "evacuation.retry"
+# Correlated failure domains (repro.faults.domains): an AZ- or BB-scoped
+# outage takes every member node down at once and recovers them as a unit;
+# a network partition blackholes every scrape from a domain.
+DOMAIN_FAIL = "domain.fail"
+DOMAIN_RECOVER = "domain.recover"
+PARTITION_START = "telemetry.partition_start"
+PARTITION_END = "telemetry.partition_end"
+# Control-plane resilience events (repro.resilience): periodic heartbeat
+# evaluation, quarantine expiry, shed-request retries, and the recurring
+# reconciliation / invariant sweeps.
+HEALTH_CHECK = "health.check"
+QUARANTINE_END = "health.quarantine_end"
+ADMISSION_RETRY = "admission.retry"
+RECONCILE = "reconcile.run"
+INVARIANT_CHECK = "invariant.check"
 
 ALL_KINDS = (
     VM_CREATE,
@@ -31,4 +46,13 @@ ALL_KINDS = (
     HOST_FAIL,
     HOST_RECOVER,
     EVAC_RETRY,
+    DOMAIN_FAIL,
+    DOMAIN_RECOVER,
+    PARTITION_START,
+    PARTITION_END,
+    HEALTH_CHECK,
+    QUARANTINE_END,
+    ADMISSION_RETRY,
+    RECONCILE,
+    INVARIANT_CHECK,
 )

@@ -14,7 +14,7 @@ telemetry of the figure benchmarks comes from the faster vectorised
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -25,24 +25,42 @@ from repro.faults import (
     FaultInjector,
     FaultReport,
     MigrationFaultModel,
+    ScrapePartition,
     TelemetryFaultModel,
+    domain_members,
 )
 from repro.infrastructure.flavors import FlavorCatalog, default_catalog
 from repro.infrastructure.hierarchy import BuildingBlock, ComputeNode, Region
 from repro.infrastructure.topology import TopologySpec, build_region
 from repro.infrastructure.vm import VM, VMState
+from repro.resilience.admission import AdmissionController, AdmissionRejected
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.health import HostHealthService
+from repro.resilience.invariants import InvariantChecker
+from repro.resilience.reconciler import InventoryReconciler
+from repro.resilience.report import ResilienceReport
 from repro.scheduler.config import SchedulerConfig
+from repro.scheduler.filters import QuarantineFilter, default_filters
 from repro.scheduler.pipeline import FilterScheduler, NoValidHost
 from repro.scheduler.placement import PlacementService
 from repro.scheduler.request import RequestSpec
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.events import (
+    ADMISSION_RETRY,
+    DOMAIN_FAIL,
+    DOMAIN_RECOVER,
     DRS_RUN,
     EVAC_RETRY,
+    HEALTH_CHECK,
     HOST_FAIL,
     HOST_RECOVER,
+    INVARIANT_CHECK,
     MAINT_END,
     MAINT_START,
+    PARTITION_END,
+    PARTITION_START,
+    QUARANTINE_END,
+    RECONCILE,
     SCRAPE,
     VM_CREATE,
     VM_DELETE,
@@ -85,6 +103,9 @@ class SimulationConfig:
     #: Fault-injection knobs (host failures, migration aborts, telemetry
     #: gaps); None runs the happy path with zero injection overhead.
     faults: FaultConfig | None = None
+    #: Control-plane resilience knobs (host health / quarantine, admission
+    #: control, reconciliation, invariants); None disables the layer.
+    resilience: ResilienceConfig | None = None
 
 
 @dataclass
@@ -105,6 +126,7 @@ class SimulationResult:
     resize_failed: int = 0
     maintenance_windows: int = 0
     fault_report: FaultReport | None = None
+    resilience_report: ResilienceReport | None = None
 
 
 class RegionSimulation:
@@ -124,6 +146,31 @@ class RegionSimulation:
         for bb in self.region.iter_building_blocks():
             self.placement.register_building_block(bb)
         scheduler_config = self.config.scheduler_config or SchedulerConfig().fast()
+
+        # -- resilience layer, part 1: the health service must exist before
+        # the scheduler so its QuarantineFilter can join the filter chain.
+        resilience = self.config.resilience
+        self.resilience_report: ResilienceReport | None = None
+        self.health: HostHealthService | None = None
+        self.admission: AdmissionController | None = None
+        self.reconciler: InventoryReconciler | None = None
+        self.invariants: InvariantChecker | None = None
+        if resilience is not None:
+            self.resilience_report = ResilienceReport(seed=resilience.seed)
+            self.health = HostHealthService(
+                self.region,
+                resilience,
+                self.resilience_report,
+                rng=np.random.default_rng(resilience.seed),
+            )
+            filters = (
+                list(scheduler_config.filters)
+                if scheduler_config.filters is not None
+                else default_filters()
+            )
+            filters.append(QuarantineFilter(self.health))
+            scheduler_config = replace(scheduler_config, filters=filters)
+
         if scheduler is not None:
             self.scheduler = scheduler
         elif self.config.scheduler_factory == "holistic":
@@ -155,6 +202,29 @@ class RegionSimulation:
         self.engine.on(MAINT_START, self._handle_maintenance_start)
         self.engine.on(MAINT_END, self._handle_maintenance_end)
 
+        # -- resilience layer, part 2: everything downstream of the scheduler.
+        if resilience is not None:
+            self.health.attach_scheduler(self.scheduler)
+            self.admission = AdmissionController(
+                self.scheduler,
+                resilience,
+                self.resilience_report,
+                rng=np.random.default_rng(resilience.seed + 1),
+            )
+            self.reconciler = InventoryReconciler(
+                self, resilience, self.resilience_report
+            )
+            self.invariants = InvariantChecker(
+                self, resilience, self.resilience_report, health=self.health
+            )
+            self.engine.on(HEALTH_CHECK, self._handle_health_check)
+            self.engine.on(QUARANTINE_END, self._handle_quarantine_end)
+            # An admission retry is a deferred VM_CREATE with its identity
+            # and deadline already fixed; the same handler serves both.
+            self.engine.on(ADMISSION_RETRY, self._handle_create)
+            self.engine.on(RECONCILE, self._handle_reconcile)
+            self.engine.on(INVARIANT_CHECK, self._handle_invariant_check)
+
         # -- fault injection (all None/inert when config.faults is unset) -----
         faults = self.config.faults
         self.fault_report: FaultReport | None = None
@@ -162,6 +232,7 @@ class RegionSimulation:
         self.evacuation: EvacuationManager | None = None
         self.migration_faults: MigrationFaultModel | None = None
         self.telemetry_faults: TelemetryFaultModel | None = None
+        self.partition: ScrapePartition | None = None
         if faults is not None:
             self.fault_report = FaultReport(seed=faults.seed)
             self.fault_injector = FaultInjector(faults)
@@ -176,9 +247,14 @@ class RegionSimulation:
                 faults.stale_node_probability,
                 seed=faults.seed + 2,
             )
+            self.partition = ScrapePartition()
             self.engine.on(HOST_FAIL, self._handle_host_fail)
             self.engine.on(HOST_RECOVER, self._handle_host_recover)
             self.engine.on(EVAC_RETRY, self._handle_evac_retry)
+            self.engine.on(DOMAIN_FAIL, self._handle_domain_fail)
+            self.engine.on(DOMAIN_RECOVER, self._handle_domain_recover)
+            self.engine.on(PARTITION_START, self._handle_partition_start)
+            self.engine.on(PARTITION_END, self._handle_partition_end)
 
         self.vms: dict[str, VM] = {}
         self.demands: dict[str, VMDemand] = {}
@@ -224,17 +300,46 @@ class RegionSimulation:
             t += self.config.drs_interval_s
         if self.fault_injector is not None:
             self.fault_injector.schedule_host_failures(self.engine, start, end)
+            self.fault_injector.schedule_domain_outages(self.engine, start, end)
+            self.fault_injector.schedule_partitions(self.engine, start, end)
+            self.fault_injector.schedule_flapping(self.engine, start, self.region)
+        if self.config.resilience is not None:
+            rcfg = self.config.resilience
+            self._schedule_recurring(start, end, rcfg.heartbeat_interval_s, HEALTH_CHECK)
+            self._schedule_recurring(start, end, rcfg.reconcile_interval_s, RECONCILE)
+            self._schedule_recurring(
+                start, end, rcfg.invariant_interval_s, INVARIANT_CHECK
+            )
         self.engine.run_until(end)
+        if self.invariants is not None:
+            # The terminal sweep: a run only counts as clean if the
+            # invariants hold over its *final* state too.
+            self.invariants.check(self.engine.now)
         if self.fault_report is not None:
             self.fault_report.migrations_attempted = self.migration_faults.attempted
             self.fault_report.migrations_aborted = self.migration_faults.aborted
             self.fault_report.scrape_gaps = self.telemetry_faults.gaps
             self.fault_report.stale_node_scrapes = self.telemetry_faults.stale_scrapes
+            self.fault_report.partitions = self.partition.partitions_started
+            self.fault_report.blackholed_scrapes = self.partition.blackholed_scrapes
+            self.fault_report.skipped_draws = self.fault_injector.skipped_draws
+        scheduler_stats = dict(self.scheduler.stats)
+        if self.resilience_report is not None:
+            r = self.resilience_report
+            scheduler_stats.update(
+                admission_submitted=r.requests_submitted,
+                admission_admitted=r.requests_admitted,
+                admission_shed_rate_limit=r.shed_rate_limit,
+                admission_shed_breaker=r.shed_breaker,
+                admission_retries=r.retries_scheduled,
+                admission_deadline_exceeded=r.deadline_exceeded,
+                admission_breaker_opens=r.breaker_opens + r.bb_breaker_opens,
+            )
         return SimulationResult(
             region=self.region,
             store=self.store,
             placement=self.placement,
-            scheduler_stats=dict(self.scheduler.stats),
+            scheduler_stats=scheduler_stats,
             drs_migrations=self.drs_migrations,
             created=self.created,
             deleted=self.deleted,
@@ -245,6 +350,7 @@ class RegionSimulation:
             resize_failed=self.resize_failed,
             maintenance_windows=self.maintenance_windows,
             fault_report=self.fault_report,
+            resilience_report=self.resilience_report,
         )
 
     # -- event handlers ----------------------------------------------------------
@@ -261,14 +367,46 @@ class RegionSimulation:
                 break
             self.engine.schedule(t, kind)
 
+    def _schedule_recurring(
+        self, start: float, end: float, interval_s: float, kind: str
+    ) -> None:
+        if interval_s <= 0:
+            return
+        t = start + interval_s
+        while t < end:
+            self.engine.schedule(t, kind)
+            t += interval_s
+
     def _handle_create(self, engine: SimulationEngine, event) -> None:
-        vm_id = f"sim-vm-{self._vm_counter:06d}"
-        self._vm_counter += 1
-        flavor = self._pick_flavor()
-        profile = profile_for_flavor(flavor, self.rng)
+        payload = event.payload
+        if "vm_id" in payload:
+            # An ADMISSION_RETRY: identity, profile, and deadline were fixed
+            # at first submission; only the clock has moved.
+            vm_id = payload["vm_id"]
+            flavor = payload["flavor"]
+            profile = payload["profile"]
+            deadline = payload["deadline"]
+        else:
+            vm_id = f"sim-vm-{self._vm_counter:06d}"
+            self._vm_counter += 1
+            flavor = self._pick_flavor()
+            profile = profile_for_flavor(flavor, self.rng)
+            deadline = (
+                engine.now + self.config.resilience.request_deadline_s
+                if self.admission is not None
+                else 0.0
+            )
         spec = RequestSpec(vm_id=vm_id, flavor=flavor)
         try:
-            result = self.scheduler.schedule(spec)
+            if self.admission is not None:
+                result = self.admission.submit(spec, engine.now)
+            else:
+                result = self.scheduler.schedule(spec)
+        except AdmissionRejected as shed:
+            self._schedule_admission_retry(
+                engine, shed, vm_id, flavor, profile, deadline
+            )
+            return
         except NoValidHost:
             self.rejected += 1
             return
@@ -368,17 +506,113 @@ class RegionSimulation:
         )
         self.resized += 1
 
+    def _schedule_admission_retry(
+        self,
+        engine: SimulationEngine,
+        shed: AdmissionRejected,
+        vm_id: str,
+        flavor,
+        profile,
+        deadline: float,
+    ) -> None:
+        """Requeue a shed request, or drop it once its deadline has passed."""
+        retry_at = engine.now + max(1.0, shed.retry_after_s)
+        if retry_at > deadline:
+            self.resilience_report.deadline_exceeded += 1
+            self.rejected += 1
+            return
+        self.resilience_report.retries_scheduled += 1
+        engine.schedule(
+            retry_at,
+            ADMISSION_RETRY,
+            vm_id=vm_id,
+            flavor=flavor,
+            profile=profile,
+            deadline=deadline,
+        )
+
+    def _handle_health_check(self, engine: SimulationEngine, event) -> None:
+        self.health.on_heartbeat(engine, engine.now)
+
+    def _handle_quarantine_end(self, engine: SimulationEngine, event) -> None:
+        self.health.on_quarantine_end(
+            engine, event.payload["node_id"], event.payload["epoch"]
+        )
+
+    def _handle_reconcile(self, engine: SimulationEngine, event) -> None:
+        self.reconciler.reconcile(engine.now)
+
+    def _handle_invariant_check(self, engine: SimulationEngine, event) -> None:
+        self.invariants.check(engine.now)
+
     def _handle_host_fail(self, engine: SimulationEngine, event) -> None:
         """A hypervisor dies: evacuate its VMs, schedule its repair."""
-        victim = self.fault_injector.pick_victim(self._node_index.values())
+        payload = event.payload
+        if "node_id" in payload:
+            # Targeted (flapping) failure with a fixed repair delay.
+            victim = self.fault_injector.targeted_victim(
+                self._node_index, payload["node_id"]
+            )
+        else:
+            victim = self.fault_injector.pick_victim(self._node_index.values())
         if victim is None:
-            return  # everything is already down or draining
+            return  # everything is already down, draining, or fenced
         self.evacuation.on_host_fail(engine, victim)
+        repair_s = payload.get("repair_s")
+        if repair_s is None:
+            repair_s = self.fault_injector.draw_repair_time()
         engine.schedule(
-            engine.now + self.fault_injector.draw_repair_time(),
+            engine.now + repair_s,
             HOST_RECOVER,
             node_id=victim.node_id,
         )
+
+    def _handle_domain_fail(self, engine: SimulationEngine, event) -> None:
+        """A whole failure domain (AZ or building block) goes dark at once."""
+        scope = event.payload["scope"]
+        domain = self.fault_injector.pick_domain(self.region, scope)
+        if domain is None:
+            return  # no domain with a healthy node left
+        victims = [
+            n for n in domain_members(self.region, scope, domain) if n.healthy
+        ]
+        for node in victims:
+            self.evacuation.on_host_fail(engine, node)
+        report = self.fault_report
+        if scope == "az":
+            report.az_outages += 1
+        else:
+            report.bb_outages += 1
+        report.outage_domains.append(f"{scope}:{domain}")
+        report.domain_nodes_failed += len(victims)
+        engine.schedule(
+            engine.now + self.fault_injector.draw_outage_duration(),
+            DOMAIN_RECOVER,
+            node_ids=tuple(n.node_id for n in victims),
+        )
+
+    def _handle_domain_recover(self, engine: SimulationEngine, event) -> None:
+        for node_id in event.payload["node_ids"]:
+            self.evacuation.on_host_recover(engine, self._node_index[node_id])
+
+    def _handle_partition_start(self, engine: SimulationEngine, event) -> None:
+        """Exporter↔store partition: a domain's scrapes blackhole."""
+        scope = event.payload["scope"]
+        domain = self.fault_injector.pick_partition_domain(self.region, scope)
+        if domain is None:
+            return
+        node_ids = frozenset(
+            n.node_id for n in domain_members(self.region, scope, domain)
+        )
+        token = self.partition.start(node_ids)
+        engine.schedule(
+            engine.now + self.fault_injector.draw_partition_duration(),
+            PARTITION_END,
+            token=token,
+        )
+
+    def _handle_partition_end(self, engine: SimulationEngine, event) -> None:
+        self.partition.end(event.payload["token"])
 
     def _handle_host_recover(self, engine: SimulationEngine, event) -> None:
         node = self._node_index[event.payload["node_id"]]
@@ -412,6 +646,10 @@ class RegionSimulation:
         for node in self._node_index.values():
             if node.failed:
                 continue  # dead host, dead exporter: no samples at all
+            if self.partition is not None and self.partition.is_blackholed(
+                node.node_id
+            ):
+                continue  # exporter unreachable: the domain's series freeze
             if self.telemetry_faults is not None and self.telemetry_faults.node_is_stale(
                 node.node_id
             ):

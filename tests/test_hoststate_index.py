@@ -159,7 +159,17 @@ _FLAVORS = ("g_c1_m1", "g_c4_m16", "g_c16_m64", "g_c64_m256")
 _OPS = st.lists(
     st.tuples(
         st.sampled_from(
-            ["claim", "release", "move", "rollback", "fail", "recover", "node_vm"]
+            [
+                "claim",
+                "release",
+                "move",
+                "rollback",
+                "fail",
+                "recover",
+                "node_vm",
+                "quarantine",
+                "readmit",
+            ]
         ),
         st.integers(min_value=0, max_value=63),
         st.integers(min_value=0, max_value=63),
@@ -217,6 +227,10 @@ def test_property_index_equivalent_after_random_ops(ops):
             nodes[a % len(nodes)].failed = True
         elif op == "recover":
             nodes[a % len(nodes)].failed = False
+        elif op == "quarantine":
+            nodes[a % len(nodes)].quarantined = True
+        elif op == "readmit":
+            nodes[a % len(nodes)].quarantined = False
         elif op == "node_vm":
             node = nodes[a % len(nodes)]
             vm_id = f"nvm{i}"
@@ -232,4 +246,14 @@ def test_property_index_equivalent_after_random_ops(ops):
             index.refresh()  # interleaved queries must not mask later drift
 
     assert_equivalent(index, region, placement)
+    # Quarantine is a node-level fence outside placement's view: after any
+    # interleaving, a building block whose nodes are all failed/quarantined/
+    # draining must never surface as an enabled candidate.
+    index.refresh()
+    enabled_ids = {s.host_id for s in index.candidates(0) if s.enabled}
+    for bb in bbs:
+        if not any(n.healthy for n in bb.nodes.values()):
+            assert bb.bb_id not in enabled_ids
+        else:
+            assert bb.bb_id in enabled_ids
     index.close()
