@@ -32,6 +32,14 @@ Subcommands::
         Time the scheduling, telemetry-ingest, and simulation hot paths on
         seeded workloads and write the perf artifact.
 
+    repro verify [--scenario NAME] [--seeds N] [--check NAME ...]
+                 [--update-goldens] [--inject-desync] [--json-only] [--out F]
+        Run the differential verification harness: scheduler oracle
+        (naive vs indexed vs scalar weighers), metamorphic properties,
+        fault/chaos determinism, and golden-trace regression.  Prints a
+        byte-stable JSON report and exits non-zero on any divergence.
+        Replaces the former per-subsystem determinism shell scripts.
+
 Run ``python -m repro.cli --help`` (or ``repro --help`` once installed).
 """
 
@@ -152,18 +160,53 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 2
 
 
+def _config_error(message: str) -> SystemExit:
+    """Usage-level failure: one-line stderr message, exit code 2."""
+    print(message, file=sys.stderr)
+    return SystemExit(2)
+
+
+def _load_config_file(path: str, what: str) -> dict:
+    """Parse a JSON config file; ``SystemExit(2)`` with a usable message.
+
+    Every malformed-input path (missing file, bad JSON, non-object top
+    level) surfaces as a one-line error on stderr — never a traceback.
+    """
+    import json
+
+    file = Path(path)
+    if not file.exists():
+        raise _config_error(f"repro: {what} config {path}: file not found")
+    try:
+        data = json.loads(file.read_text())
+    except json.JSONDecodeError as exc:
+        raise _config_error(
+            f"repro: {what} config {path}: invalid JSON at "
+            f"line {exc.lineno} column {exc.colno}: {exc.msg}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise _config_error(
+            f"repro: {what} config {path}: top level must be a JSON "
+            f"object, got {type(data).__name__}"
+        )
+    return data
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults import FaultConfig
     from repro.faults.scenario import ScenarioConfig, run_fault_scenario
 
-    config = ScenarioConfig(
-        building_blocks=args.bbs,
-        nodes_per_bb=args.nodes_per_bb,
-        duration_days=args.days,
-        seed=args.seed,
-        arrival_rate_per_hour=args.arrival_rate,
-        initial_vms=args.initial_vms,
-        faults=FaultConfig(
+    if args.config:
+        data = _load_config_file(args.config, "faults")
+        data.setdefault(
+            "seed", args.fault_seed if args.fault_seed is not None else args.seed
+        )
+        try:
+            faults = FaultConfig.from_dict(data)
+        except ValueError as exc:
+            raise _config_error(f"repro: faults config {args.config}: {exc}")
+    else:
+        faults = FaultConfig(
             seed=args.fault_seed if args.fault_seed is not None else args.seed,
             host_failure_rate_per_day=args.failure_rate,
             repair_time_mean_s=args.repair_hours * 3600.0,
@@ -171,7 +214,15 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             scrape_gap_probability=args.gap_probability,
             stale_node_probability=args.stale_probability,
             evac_max_retries=args.evac_retries,
-        ),
+        )
+    config = ScenarioConfig(
+        building_blocks=args.bbs,
+        nodes_per_bb=args.nodes_per_bb,
+        duration_days=args.days,
+        seed=args.seed,
+        arrival_rate_per_hour=args.arrival_rate,
+        initial_vms=args.initial_vms,
+        faults=faults,
     )
     print(
         f"Running fault scenario: {args.bbs} BBs x {args.nodes_per_bb} nodes, "
@@ -222,12 +273,30 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         run_chaos_scenario,
     )
 
+    from repro.faults import FaultConfig
+    from repro.resilience.config import ResilienceConfig
+
     faults = (
         default_chaos_faults(args.fault_seed)
         if args.fault_seed is not None
         else default_chaos_faults()
     )
     resilience = default_chaos_resilience()
+    if args.config:
+        data = _load_config_file(args.config, "chaos")
+        unknown = sorted(set(data) - {"faults", "resilience"})
+        if unknown:
+            raise _config_error(
+                f"repro: chaos config {args.config}: unknown sections "
+                f"{', '.join(unknown)} (known: faults, resilience)"
+            )
+        try:
+            if "faults" in data:
+                faults = FaultConfig.from_dict(data["faults"])
+            if "resilience" in data:
+                resilience = ResilienceConfig.from_dict(data["resilience"])
+        except ValueError as exc:
+            raise _config_error(f"repro: chaos config {args.config}: {exc}")
     if args.no_fail_fast:
         resilience = replace(resilience, fail_fast=False)
     config = ChaosConfig(
@@ -299,6 +368,45 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.runner import ALL_CHECKS, BASE_SEED, VerifyConfig, run_verify
+    from repro.verify.scenarios import SCENARIOS
+
+    if args.scenario not in SCENARIOS:
+        raise _config_error(
+            f"repro: unknown scenario {args.scenario!r}; "
+            f"known: {', '.join(sorted(SCENARIOS))}"
+        )
+    checks = tuple(args.check) if args.check else ALL_CHECKS
+    unknown = sorted(set(checks) - set(ALL_CHECKS))
+    if unknown:
+        raise _config_error(
+            f"repro: unknown checks {', '.join(unknown)}; "
+            f"known: {', '.join(ALL_CHECKS)}"
+        )
+    if args.seeds < 1:
+        raise _config_error("repro: --seeds must be >= 1")
+    config = VerifyConfig(
+        scenario=args.scenario,
+        seeds=tuple(range(BASE_SEED, BASE_SEED + args.seeds)),
+        checks=checks,
+        goldens_dir=args.goldens_dir,
+        update_goldens=args.update_goldens,
+        inject_desync=args.inject_desync,
+    )
+    report = run_verify(config)
+    if not args.json_only:
+        print(report.render(), file=sys.stderr)
+    payload = report.to_json()
+    if args.out:
+        Path(args.out).write_text(payload)
+        if not args.json_only:
+            print(f"Wrote {args.out}", file=sys.stderr)
+    else:
+        print(payload, end="")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser with every subcommand registered."""
     parser = argparse.ArgumentParser(
@@ -357,6 +465,11 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--stale-probability", type=float, default=0.02)
     faults.add_argument("--evac-retries", type=int, default=5)
     faults.add_argument("--out", default=None, help="write report JSON here")
+    faults.add_argument(
+        "--config", default=None, metavar="FILE",
+        help="JSON object of FaultConfig fields; replaces the per-fault "
+        "flags (malformed files exit 2 with a one-line error)",
+    )
     faults.set_defaults(func=_cmd_faults)
 
     chaos = sub.add_parser(
@@ -379,6 +492,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="record invariant violations instead of raising on the first",
     )
     chaos.add_argument("--out", default=None, help="write summary JSON here")
+    chaos.add_argument(
+        "--config", default=None, metavar="FILE",
+        help='JSON object with optional "faults" / "resilience" sections '
+        "(malformed files exit 2 with a one-line error)",
+    )
     chaos.set_defaults(func=_cmd_chaos)
 
     bench = sub.add_parser(
@@ -403,6 +521,43 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default="BENCH_scale.json",
                        help="where to write the result JSON")
     bench.set_defaults(func=_cmd_bench)
+
+    verify = sub.add_parser(
+        "verify",
+        help="run the differential verification harness (oracle, "
+        "metamorphic, determinism, goldens)",
+    )
+    verify.add_argument(
+        "--scenario", default="default",
+        help="verification scenario: tiny | default | dense",
+    )
+    verify.add_argument(
+        "--seeds", type=int, default=1, metavar="N",
+        help="number of seeds to run (seeds 7..7+N-1)",
+    )
+    verify.add_argument(
+        "--check", action="append", default=None, metavar="NAME",
+        help="run only this check (repeatable); default: all",
+    )
+    verify.add_argument(
+        "--goldens-dir", default=None, metavar="DIR",
+        help="golden store location (default: tests/goldens/)",
+    )
+    verify.add_argument(
+        "--update-goldens", action="store_true",
+        help="regenerate golden files instead of comparing against them",
+    )
+    verify.add_argument(
+        "--inject-desync", action="store_true",
+        help="corrupt the scheduler index mid-run to demonstrate that the "
+        "oracle catches it (the run then fails by design)",
+    )
+    verify.add_argument(
+        "--json-only", action="store_true",
+        help="suppress the stderr summary; print only the JSON report",
+    )
+    verify.add_argument("--out", default=None, help="write report JSON here")
+    verify.set_defaults(func=_cmd_verify)
 
     query = sub.add_parser("query", help="evaluate a telemetry query")
     query.add_argument("dataset", help="dataset archive directory")

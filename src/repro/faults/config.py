@@ -8,7 +8,7 @@ the dataset-regeneration pillar (same seed ⇒ byte-identical report).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 
 @dataclass(frozen=True)
@@ -105,6 +105,30 @@ class FaultConfig:
             raise ValueError("flapping_hosts must be >= 0 and cycles >= 1")
         if self.flapping_period_s <= 0:
             raise ValueError("flapping_period_s must be positive")
+
+    @classmethod
+    def from_dict(cls, data: object) -> "FaultConfig":
+        """Build a config from parsed JSON; ``ValueError`` on any problem.
+
+        Unknown keys are rejected by name (a typo must not silently fall
+        back to a default hazard rate), and field validation runs as
+        usual via ``__post_init__``.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"fault config must be a JSON object, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown fault config keys: {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ValueError(f"invalid fault config: {exc}") from exc
 
     @property
     def any_faults(self) -> bool:

@@ -10,7 +10,7 @@ so a resilience trace replays byte-identically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 
 @dataclass(frozen=True)
@@ -98,3 +98,27 @@ class ResilienceConfig:
             raise ValueError("breaker cooldowns must be >= 0")
         if self.reconcile_interval_s < 0 or self.invariant_interval_s < 0:
             raise ValueError("service intervals must be >= 0")
+
+    @classmethod
+    def from_dict(cls, data: object) -> "ResilienceConfig":
+        """Build a config from parsed JSON; ``ValueError`` on any problem.
+
+        Unknown keys are rejected by name (a typo must not silently fall
+        back to a default threshold), and field validation runs as usual
+        via ``__post_init__``.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"resilience config must be a JSON object, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown resilience config keys: {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ValueError(f"invalid resilience config: {exc}") from exc

@@ -69,3 +69,27 @@ class HostState:
         self.free_ram_mb -= ram_mb
         self.free_disk_gb -= disk_gb
         self.num_instances += 1
+
+    #: Fields compared by :meth:`diff_fields`.  ``metadata`` is excluded by
+    #: contract: schedulers decorate it in place, so cached and rebuilt
+    #: states legitimately differ there (see the index invariants).
+    COMPARED_FIELDS = (
+        "host_id", "az", "aggregate_class", "policy",
+        "free_vcpus", "free_ram_mb", "free_disk_gb",
+        "total_vcpus", "total_ram_mb", "total_disk_gb",
+        "num_instances", "num_io_ops", "tenants", "allowed_tenants",
+        "enabled",
+    )
+
+    def diff_fields(self, other: "HostState") -> list[tuple[str, object, object]]:
+        """Field-by-field differences vs ``other`` as (field, self, other).
+
+        The equality contract the incremental index must uphold against a
+        from-scratch rebuild; the differential oracle reports each tuple
+        as a structured mismatch.
+        """
+        return [
+            (name, mine, theirs)
+            for name in self.COMPARED_FIELDS
+            if (mine := getattr(self, name)) != (theirs := getattr(other, name))
+        ]

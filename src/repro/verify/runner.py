@@ -1,0 +1,306 @@
+"""The `repro verify` runner: check registry, report, exit semantics.
+
+One :func:`run_verify` call executes a named set of checks for every
+(scenario, seed) pair and folds the outcomes into a single JSON-ready
+report.  The report is byte-stable by construction — no wall clock, no
+host identity, sorted keys, rounded floats — so CI can diff two runs of
+the same tree directly.
+
+Checks:
+
+``oracle``
+    Differential scheduler oracle (naive vs indexed vs scalar weighers).
+``desync``
+    Harness self-test: replays the oracle with a deliberately injected
+    index desync (ghost VM registry fork, no epoch bump) and *passes only
+    if the corruption is detected* — guarding the guard.
+``metamorphic``
+    Telemetry + scheduler metamorphic properties.
+``determinism_faults`` / ``determinism_chaos``
+    The seeded fault / chaos scenario rendered to canonical JSON twice
+    in-process; any byte difference is nondeterminism.  Replaces the
+    former ``scripts/check_fault_determinism.sh`` and
+    ``scripts/check_chaos_determinism.sh``.
+``goldens``
+    Golden-trace regression against ``tests/goldens/``.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.verify.goldens import check_golden, update_golden
+from repro.verify.metamorphic import run_metamorphic
+from repro.verify.oracle import Mismatch, desync_index, run_oracle
+from repro.verify.scenarios import VerifyScenario, get_scenario
+
+#: Registry order is report order.
+ALL_CHECKS = (
+    "oracle",
+    "desync",
+    "metamorphic",
+    "determinism_faults",
+    "determinism_chaos",
+    "goldens",
+)
+
+#: First verification seed; ``--seeds N`` runs seeds BASE_SEED..BASE_SEED+N-1.
+BASE_SEED = 7
+
+
+@dataclass(frozen=True)
+class VerifyConfig:
+    """One `repro verify` invocation."""
+
+    scenario: str = "default"
+    seeds: tuple[int, ...] = (BASE_SEED,)
+    checks: tuple[str, ...] = ALL_CHECKS
+    goldens_dir: str | None = None
+    update_goldens: bool = False
+    #: Corrupt the oracle run itself (demonstrates detection; run fails).
+    inject_desync: bool = False
+
+    def __post_init__(self) -> None:
+        unknown = set(self.checks) - set(ALL_CHECKS)
+        if unknown:
+            raise ValueError(
+                f"unknown checks {sorted(unknown)}; known: {list(ALL_CHECKS)}"
+            )
+
+
+@dataclass
+class CheckOutcome:
+    """One check on one (scenario, seed)."""
+
+    check: str
+    scenario: str
+    seed: int
+    ok: bool
+    summary: str
+    mismatches: list[Mismatch] = field(default_factory=list)
+    diff: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "ok": self.ok,
+            "summary": self.summary,
+            "mismatches": [m.to_dict() for m in self.mismatches],
+            "diff": self.diff,
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Everything one `repro verify` run produced."""
+
+    config: VerifyConfig
+    outcomes: list[CheckOutcome]
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": 1,
+            "scenario": self.config.scenario,
+            "seeds": list(self.config.seeds),
+            "checks": list(self.config.checks),
+            "inject_desync": self.config.inject_desync,
+            "ok": self.ok,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable JSON rendering (sorted keys, no volatile fields)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render(self) -> str:
+        lines = []
+        for o in self.outcomes:
+            status = "ok" if o.ok else "FAIL"
+            lines.append(f"{status:4s} {o.check:20s} seed {o.seed}: {o.summary}")
+            for m in o.mismatches[:10]:
+                lines.append(f"       {m.render()}")
+            if len(o.mismatches) > 10:
+                lines.append(f"       ... {len(o.mismatches) - 10} more")
+            if o.diff and not o.ok:
+                lines.extend(f"       {d}" for d in o.diff.splitlines()[:40])
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"verify {self.config.scenario} seeds {list(self.config.seeds)}: "
+            f"{verdict} ({sum(o.ok for o in self.outcomes)}/"
+            f"{len(self.outcomes)} checks ok)"
+        )
+        return "\n".join(lines)
+
+
+def _check_oracle(
+    scenario: VerifyScenario, seed: int, inject_desync: bool
+) -> CheckOutcome:
+    result = run_oracle(
+        scenario, seed, perturb=desync_index if inject_desync else None
+    )
+    summary = (
+        f"{result.ops} ops, {result.placed} placed, {result.rejected} rejected, "
+        f"{len(result.mismatches)} mismatches"
+    )
+    if inject_desync:
+        summary += " (desync injected)"
+    return CheckOutcome(
+        check="oracle",
+        scenario=scenario.name,
+        seed=seed,
+        ok=result.ok,
+        summary=summary,
+        mismatches=result.mismatches,
+    )
+
+
+def _check_desync(scenario: VerifyScenario, seed: int) -> CheckOutcome:
+    """Self-test: the oracle must catch a deliberately corrupted index."""
+    result = run_oracle(scenario, seed, perturb=desync_index)
+    detected = not result.ok
+    named = any(m.subject and m.field for m in result.mismatches)
+    return CheckOutcome(
+        check="desync",
+        scenario=scenario.name,
+        seed=seed,
+        ok=detected and named,
+        summary=(
+            f"injected desync detected: {len(result.mismatches)} structured "
+            f"mismatches"
+            if detected
+            else "injected desync NOT detected — oracle is blind"
+        ),
+        # The mismatches are the *expected* detection; only report them
+        # when the self-test fails (detection missing or unnamed).
+        mismatches=[] if detected and named else result.mismatches,
+    )
+
+
+def _check_metamorphic(scenario: VerifyScenario, seed: int) -> CheckOutcome:
+    mismatches = run_metamorphic(scenario, seed)
+    return CheckOutcome(
+        check="metamorphic",
+        scenario=scenario.name,
+        seed=seed,
+        ok=not mismatches,
+        summary=f"{len(mismatches)} property violations",
+        mismatches=mismatches,
+    )
+
+
+def _twice_diff(render_once) -> tuple[bool, str]:
+    first = render_once()
+    second = render_once()
+    if first == second:
+        return True, ""
+    diff = "".join(
+        difflib.unified_diff(
+            first.splitlines(keepends=True),
+            second.splitlines(keepends=True),
+            fromfile="first-run",
+            tofile="second-run",
+            n=2,
+        )
+    )
+    return False, diff
+
+
+def _check_determinism_faults(scenario: VerifyScenario, seed: int) -> CheckOutcome:
+    from repro.faults.scenario import run_fault_scenario
+
+    ok, diff = _twice_diff(
+        lambda: run_fault_scenario(scenario.fault_scenario(seed)).fault_report.to_json()
+    )
+    return CheckOutcome(
+        check="determinism_faults",
+        scenario=scenario.name,
+        seed=seed,
+        ok=ok,
+        summary="fault report byte-identical across two runs"
+        if ok
+        else "fault report DIFFERS between identical runs",
+        diff=diff,
+    )
+
+
+def _check_determinism_chaos(scenario: VerifyScenario, seed: int) -> CheckOutcome:
+    from repro.resilience.chaos import chaos_summary_json, run_chaos_scenario
+
+    ok, diff = _twice_diff(
+        lambda: chaos_summary_json(run_chaos_scenario(scenario.chaos_scenario(seed)))
+    )
+    return CheckOutcome(
+        check="determinism_chaos",
+        scenario=scenario.name,
+        seed=seed,
+        ok=ok,
+        summary="chaos summary byte-identical across two runs"
+        if ok
+        else "chaos summary DIFFERS between identical runs",
+        diff=diff,
+    )
+
+
+def _check_goldens(
+    scenario: VerifyScenario, seed: int, goldens_dir: str | None, update: bool
+) -> CheckOutcome:
+    directory = Path(goldens_dir) if goldens_dir else None
+    if update:
+        path = update_golden(scenario, seed, directory)
+        return CheckOutcome(
+            check="goldens",
+            scenario=scenario.name,
+            seed=seed,
+            ok=True,
+            summary=f"golden regenerated: {path}",
+        )
+    result = check_golden(scenario, seed, directory)
+    return CheckOutcome(
+        check="goldens",
+        scenario=scenario.name,
+        seed=seed,
+        ok=result.ok,
+        summary=f"golden {result.status}: {result.path}",
+        diff=result.diff,
+    )
+
+
+def run_verify(config: VerifyConfig) -> VerifyReport:
+    """Run every selected check for every seed; never raises on divergence."""
+    scenario = get_scenario(config.scenario)
+    outcomes: list[CheckOutcome] = []
+    for seed in config.seeds:
+        for check in config.checks:
+            if check == "oracle":
+                outcomes.append(
+                    _check_oracle(scenario, seed, config.inject_desync)
+                )
+            elif check == "desync":
+                outcomes.append(_check_desync(scenario, seed))
+            elif check == "metamorphic":
+                outcomes.append(_check_metamorphic(scenario, seed))
+            elif check == "determinism_faults":
+                outcomes.append(_check_determinism_faults(scenario, seed))
+            elif check == "determinism_chaos":
+                if not scenario.include_chaos:
+                    continue
+                outcomes.append(_check_determinism_chaos(scenario, seed))
+            elif check == "goldens":
+                outcomes.append(
+                    _check_goldens(
+                        scenario,
+                        seed,
+                        config.goldens_dir,
+                        config.update_goldens,
+                    )
+                )
+    return VerifyReport(config=config, outcomes=outcomes)

@@ -6,6 +6,8 @@ shared session-wide; tests must not mutate it.
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
 import pytest
 
@@ -19,6 +21,46 @@ from repro.infrastructure.topology import (
     TopologySpec,
     build_region,
 )
+
+
+@pytest.fixture(autouse=True)
+def _global_random_guard(request, monkeypatch):
+    """Fail loudly when a test drains the global ``random`` stream unseeded.
+
+    Simulation determinism is load-bearing for this repo (same seed ⇒
+    byte-identical traces), so production code must only draw from private
+    seeded generators.  A test that consumes ``random``'s *global* state
+    without seeding it first is order-dependent: its outcome silently
+    changes when another test runs before it.  This guard snapshots the
+    global state, records whether ``random.seed`` was called, and fails
+    any test that advanced the stream without seeding.  Opt out with
+    ``@pytest.mark.uses_global_random`` for tests that deliberately
+    exercise unseeded global randomness.
+    """
+    if request.node.get_closest_marker("uses_global_random"):
+        yield
+        return
+    before = random.getstate()
+    seeded = False
+    real_seed = random.seed
+
+    def recording_seed(*args, **kwargs):
+        nonlocal seeded
+        seeded = True
+        return real_seed(*args, **kwargs)
+
+    monkeypatch.setattr(random, "seed", recording_seed)
+    yield
+    after = random.getstate()
+    # Restore regardless so one offender cannot poison later tests.
+    random.setstate(before)
+    if after != before and not seeded:
+        pytest.fail(
+            f"{request.node.nodeid} consumed the global `random` stream "
+            "without seeding it — draw from a private seeded "
+            "random.Random/numpy Generator instead, call random.seed(...) "
+            "first, or mark the test @pytest.mark.uses_global_random"
+        )
 
 
 @pytest.fixture(scope="session")

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.telemetry.downsample import downsample, reconstruct
-from repro.telemetry.timeseries import TimeSeries
+from repro.telemetry.timeseries import STALE, TimeSeries
 
 
 def test_basic_windows():
@@ -42,6 +42,68 @@ def test_reconstruct_mean():
 def test_reconstruct_unknown_field():
     with pytest.raises(ValueError):
         reconstruct([], "bogus")
+
+
+def test_single_sample_windows():
+    # Samples 2*window apart: every window holds exactly one sample, and
+    # each aggregate collapses to that sample's value.
+    series = TimeSeries([0.0, 60.0, 120.0], [5.0, -1.5, 8.0])
+    chunks = downsample(series, 30)
+    assert [c.start for c in chunks] == [0.0, 60.0, 120.0]
+    for chunk, value in zip(chunks, [5.0, -1.5, 8.0]):
+        assert chunk.count == 1
+        assert chunk.mean == chunk.minimum == chunk.maximum == chunk.total == value
+        assert chunk.stale_count == 0
+
+
+def test_all_stale_series_keeps_nan_aggregates():
+    series = TimeSeries([0.0, 10.0, 20.0], [STALE, STALE, STALE])
+    chunks = downsample(series, 30)
+    assert len(chunks) == 1
+    chunk = chunks[0]
+    assert chunk.count == 0
+    assert chunk.stale_count == 3
+    assert np.isnan(chunk.mean)
+    assert np.isnan(chunk.minimum)
+    assert np.isnan(chunk.maximum)
+    assert chunk.total == 0.0
+
+
+def test_nan_run_straddling_window_boundary():
+    # A stale run covering the end of window 0 and the start of window 1
+    # must be split per-window, never attributed to a neighbour.
+    series = TimeSeries(
+        [0.0, 10.0, 20.0, 30.0, 40.0, 50.0],
+        [1.0, STALE, STALE, STALE, 2.0, 3.0],
+    )
+    chunks = downsample(series, 30)
+    assert [c.start for c in chunks] == [0.0, 30.0]
+    assert (chunks[0].count, chunks[0].stale_count) == (1, 2)
+    assert (chunks[1].count, chunks[1].stale_count) == (2, 1)
+    assert chunks[0].mean == 1.0
+    assert chunks[1].mean == pytest.approx(2.5)
+
+
+def test_stale_only_window_between_observed_windows():
+    series = TimeSeries(
+        [0.0, 30.0, 40.0, 60.0],
+        [1.0, STALE, STALE, 4.0],
+    )
+    chunks = downsample(series, 30)
+    assert [c.count for c in chunks] == [1, 0, 1]
+    assert [c.stale_count for c in chunks] == [0, 2, 0]
+    # Reconstructing the mean keeps the stale window as NaN, preserving
+    # the "scraped but never observed" hole through the round trip.
+    coarse = reconstruct(chunks, "mean")
+    assert coarse.values[0] == 1.0
+    assert np.isnan(coarse.values[1])
+    assert coarse.values[2] == 4.0
+
+
+def test_reconstruct_count_of_stale_only_window_is_zero():
+    series = TimeSeries([0.0, 30.0], [STALE, 7.0])
+    coarse = reconstruct(downsample(series, 30), "count")
+    assert list(coarse.values) == [0.0, 1.0]
 
 
 @given(

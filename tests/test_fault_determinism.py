@@ -1,8 +1,8 @@
 """Determinism of fault injection: same seed, byte-identical replay.
 
-This is the tier-1 embodiment of the CI smoke gate
-(``scripts/check_fault_determinism.sh``): two independent runs of the
-same seeded scenario must hash identically, and hypothesis replays
+This is the tier-1 embodiment of the ``determinism_faults`` check of
+``repro verify`` (the CI ``verify-smoke`` gate): two independent runs of
+the same seeded scenario must hash identically, and hypothesis replays
 randomly seeded event streams end to end.
 """
 

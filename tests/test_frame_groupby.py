@@ -1,8 +1,13 @@
 """Tests for Frame.groupby aggregation."""
 
+import math
+
+import numpy as np
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.frame import Frame
+from repro.frame.groupby import AGGREGATIONS
 
 
 @pytest.fixture
@@ -85,3 +90,109 @@ def test_p95_and_median(table):
     out = table.groupby("h").agg(med="v:median", p95="v:p95")
     by_h = {r["h"]: r for r in out.rows()}
     assert by_h[2]["med"] == 4.0
+
+
+# -- property tests against a naive dict-of-lists reference ----------------------
+
+
+def _naive_median(vs):
+    ordered = sorted(vs)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _naive_p95(vs):
+    # Linear interpolation between closest ranks (numpy's default method).
+    ordered = sorted(vs)
+    rank = 0.95 * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    frac = rank - lo
+    if lo + 1 >= len(ordered):
+        return ordered[-1]
+    return ordered[lo] + (ordered[lo + 1] - ordered[lo]) * frac
+
+
+def _naive_std(vs):
+    mean = math.fsum(vs) / len(vs)
+    return math.sqrt(math.fsum((x - mean) ** 2 for x in vs) / len(vs))
+
+
+#: Pure-python references for every built-in aggregation, deliberately
+#: written without numpy so a shared bug cannot hide in both sides.
+NAIVE_AGGREGATIONS = {
+    "sum": math.fsum,
+    "mean": lambda vs: math.fsum(vs) / len(vs),
+    "min": min,
+    "max": max,
+    "std": _naive_std,
+    "median": _naive_median,
+    "p95": _naive_p95,
+    "count": len,
+    "first": lambda vs: vs[0],
+    "last": lambda vs: vs[-1],
+}
+
+
+def test_naive_reference_covers_every_aggregation():
+    assert set(NAIVE_AGGREGATIONS) == set(AGGREGATIONS)
+
+
+_records = st.lists(
+    st.fixed_dictionaries(
+        {
+            "g": st.sampled_from(["a", "b", "c", "d"]),
+            "h": st.integers(min_value=0, max_value=2),
+            "v": st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        }
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(records=_records, agg_name=st.sampled_from(sorted(AGGREGATIONS)))
+def test_property_agg_matches_naive_reference(records, agg_name):
+    frame = Frame.from_records(records)
+    out = frame.groupby("g").agg(x=("v", agg_name))
+
+    naive: dict[str, list[float]] = {}
+    for rec in records:
+        naive.setdefault(rec["g"], []).append(rec["v"])
+
+    assert list(out["g"]) == sorted(naive)
+    for key, got in zip(out["g"], out["x"]):
+        expected = NAIVE_AGGREGATIONS[agg_name](naive[key])
+        assert float(got) == pytest.approx(expected, rel=1e-9, abs=1e-6), (
+            f"{agg_name} diverged for group {key!r}: {got} vs {expected}"
+        )
+
+
+@given(records=_records)
+def test_property_multi_key_counts_match_naive_reference(records):
+    frame = Frame.from_records(records)
+    out = frame.groupby(["g", "h"]).agg(n="v:count", total="v:sum")
+
+    naive: dict[tuple, list[float]] = {}
+    for rec in records:
+        naive.setdefault((rec["g"], rec["h"]), []).append(rec["v"])
+
+    got = {(r["g"], r["h"]): r for r in out.rows()}
+    assert set(got) == set(naive)
+    for key, vals in naive.items():
+        assert got[key]["n"] == len(vals)
+        assert float(got[key]["total"]) == pytest.approx(
+            math.fsum(vals), rel=1e-9, abs=1e-6
+        )
+
+
+@given(records=_records)
+def test_property_groups_partition_the_frame(records):
+    frame = Frame.from_records(records)
+    groups = frame.groupby("g").groups()
+    assert sum(len(sub) for sub in groups.values()) == len(frame)
+    recovered = sorted(
+        (key[0], float(v)) for key, sub in groups.items() for v in sub["v"]
+    )
+    assert recovered == sorted((r["g"], float(r["v"])) for r in records)

@@ -1,0 +1,78 @@
+"""Tests for the conftest global-`random` guard itself."""
+
+from __future__ import annotations
+
+import importlib.util
+import random
+from pathlib import Path
+
+import pytest
+
+_spec = importlib.util.spec_from_file_location(
+    "_repro_conftest", Path(__file__).with_name("conftest.py")
+)
+_conftest = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_conftest)
+_global_random_guard = _conftest._global_random_guard
+
+
+class _FakeNode:
+    nodeid = "tests/test_fake.py::test_offender"
+
+    def __init__(self, marker: bool) -> None:
+        self._marker = marker
+
+    def get_closest_marker(self, name):
+        assert name == "uses_global_random"
+        return object() if self._marker else None
+
+
+class _FakeRequest:
+    def __init__(self, marker: bool = False) -> None:
+        self.node = _FakeNode(marker)
+
+
+def _drive(monkeypatch, *, marker: bool, body):
+    """Run ``body`` inside one setup/teardown cycle of the guard."""
+    gen = _global_random_guard.__wrapped__(_FakeRequest(marker), monkeypatch)
+    next(gen)
+    body()
+    with pytest.raises(StopIteration):
+        next(gen)
+
+
+def test_guard_fails_on_unseeded_global_draw(monkeypatch):
+    with pytest.raises(pytest.fail.Exception, match="global `random` stream"):
+        _drive(monkeypatch, marker=False, body=random.random)
+
+
+def test_guard_restores_state_even_for_offenders(monkeypatch):
+    before = random.getstate()
+    with pytest.raises(pytest.fail.Exception):
+        _drive(monkeypatch, marker=False, body=random.random)
+    assert random.getstate() == before
+
+
+def test_guard_allows_seeded_use(monkeypatch):
+    def body():
+        random.seed(20260808)
+        random.random()
+
+    _drive(monkeypatch, marker=False, body=body)
+
+
+def test_guard_allows_untouched_state(monkeypatch):
+    _drive(monkeypatch, marker=False, body=lambda: None)
+
+
+@pytest.mark.uses_global_random
+def test_guard_marker_opts_out(monkeypatch):
+    # Marked: with the inner guard opted out, nothing restores the global
+    # state this test's body advances, so it must opt out itself too.
+    _drive(monkeypatch, marker=True, body=random.random)
+
+
+@pytest.mark.uses_global_random
+def test_marker_opts_out_end_to_end():
+    # Runs under the real autouse guard; the marker must let this pass.
+    random.random()
