@@ -23,10 +23,21 @@ Subcommands::
         Exits non-zero, with a summary table, when VMs were dead-lettered.
 
     repro chaos [--days D] [--seed N] [--json-only] [--out FILE]
+                [--journal FILE]
         Run the correlated-failure chaos scenario (AZ/BB outages, a
         flapping host, scrape partitions) with the resilience layer on
         and print the deterministic summary JSON.  Exits non-zero on
-        invariant violations.
+        invariant violations.  ``--journal`` appends every control-plane
+        record to a CRC-framed write-ahead journal file.
+
+    repro crash [--scenario NAME] [--seeds N|A,B,...] [--out FILE]
+        Run crash→recover→continue cycles: kill a journaled run at every
+        named crash point (mid-claim, post-journal, mid-snapshot, ...),
+        recover from snapshot + journal, and prove the recovered outcome
+        is field-identical to an uninterrupted run; then corrupt the
+        journal byte-wise (truncation, bit flips, duplicated tail) and
+        prove the damage is detected with named offsets.  Exits non-zero
+        on any divergence or undetected corruption.
 
     repro bench [--smoke] [--check] [--out BENCH_scale.json]
         Time the scheduling, telemetry-ingest, and simulation hot paths on
@@ -166,6 +177,31 @@ def _config_error(message: str) -> SystemExit:
     return SystemExit(2)
 
 
+class _ProgressTracker:
+    """Remembers the last progress message a long command reported.
+
+    Long-running subcommands pass the instance as their ``progress``
+    callback; on Ctrl-C the interrupt handler reads :attr:`last` to say
+    how far the run got before dying.
+    """
+
+    def __init__(self, initial: str) -> None:
+        self.last = initial
+
+    def __call__(self, message: str) -> None:
+        self.last = message
+
+
+def _interrupted(command: str, progress: str) -> int:
+    """Uniform Ctrl-C exit: one stderr line, conventional code 130."""
+    print(
+        f"repro {command}: interrupted during {progress}; "
+        "partial results discarded",
+        file=sys.stderr,
+    )
+    return 130
+
+
 def _load_config_file(path: str, what: str) -> dict:
     """Parse a JSON config file; ``SystemExit(2)`` with a usable message.
 
@@ -229,7 +265,13 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         f"{args.days} days, seed {args.seed} ...",
         file=sys.stderr,
     )
-    result = run_fault_scenario(config)
+    try:
+        result = run_fault_scenario(config)
+    except KeyboardInterrupt:
+        return _interrupted(
+            "faults",
+            f"the {args.days}-day scenario (seed {args.seed})",
+        )
     report = result.fault_report
     print(report.render(), file=sys.stderr)
     payload = report.to_json()
@@ -312,7 +354,29 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"seed {args.seed} ...",
             file=sys.stderr,
         )
-    result = run_chaos_scenario(config)
+    journal_writer = None
+    journal_sink = None
+    if args.journal:
+        from repro.recovery import JournalWriter
+
+        journal_writer = JournalWriter(args.journal)
+        journal_sink = journal_writer.append
+    try:
+        result = run_chaos_scenario(config, journal=journal_sink)
+    except KeyboardInterrupt:
+        return _interrupted(
+            "chaos",
+            f"the {args.days}-day scenario (seed {args.seed})",
+        )
+    finally:
+        if journal_writer is not None:
+            journal_writer.close()
+    if journal_writer is not None and not args.json_only:
+        print(
+            f"Journaled {journal_writer.records_written} control-plane "
+            f"records to {args.journal}",
+            file=sys.stderr,
+        )
     report = result.resilience_report
     if not args.json_only:
         print(report.render(), file=sys.stderr)
@@ -394,10 +458,83 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         update_goldens=args.update_goldens,
         inject_desync=args.inject_desync,
     )
-    report = run_verify(config)
+    stage = _ProgressTracker("starting up")
+    try:
+        report = run_verify(config, progress=stage)
+    except KeyboardInterrupt:
+        return _interrupted("verify", stage.last)
     if not args.json_only:
         print(report.render(), file=sys.stderr)
     payload = report.to_json()
+    if args.out:
+        Path(args.out).write_text(payload)
+        if not args.json_only:
+            print(f"Wrote {args.out}", file=sys.stderr)
+    else:
+        print(payload, end="")
+    return 0 if report.ok else 1
+
+
+def _parse_seeds(text: str, base_seed: int) -> list[int]:
+    """Seed spec: a bare count ("3" → base..base+2) or a comma list."""
+    if "," in text:
+        try:
+            return [int(part) for part in text.split(",") if part.strip()]
+        except ValueError:
+            raise _config_error(
+                f"repro: bad --seeds {text!r}; expected a count or a "
+                "comma-separated list of seeds"
+            ) from None
+    try:
+        count = int(text)
+    except ValueError:
+        raise _config_error(
+            f"repro: bad --seeds {text!r}; expected a count or a "
+            "comma-separated list of seeds"
+        ) from None
+    if count < 1:
+        raise _config_error("repro: --seeds must be >= 1")
+    return list(range(base_seed, base_seed + count))
+
+
+def _cmd_crash(args: argparse.Namespace) -> int:
+    from repro.recovery import run_crash_cycles
+    from repro.verify.runner import BASE_SEED
+    from repro.verify.scenarios import SCENARIOS, get_scenario
+
+    if args.scenario not in SCENARIOS:
+        raise _config_error(
+            f"repro: unknown scenario {args.scenario!r}; "
+            f"known: {', '.join(sorted(SCENARIOS))}"
+        )
+    seeds = _parse_seeds(args.seeds, BASE_SEED)
+    if args.snapshot_every < 1:
+        raise _config_error("repro: --snapshot-every must be >= 1")
+    stage = _ProgressTracker("starting up")
+
+    def progress(message: str) -> None:
+        stage(message)
+        if not args.json_only:
+            print(f"  {message}", file=sys.stderr)
+
+    if not args.json_only:
+        print(
+            f"Running crash harness: scenario {args.scenario}, "
+            f"seeds {','.join(str(s) for s in seeds)} ...",
+            file=sys.stderr,
+        )
+    try:
+        report = run_crash_cycles(
+            get_scenario(args.scenario),
+            seeds,
+            snapshot_every=args.snapshot_every,
+            progress=progress,
+        )
+    except KeyboardInterrupt:
+        return _interrupted("crash", stage.last)
+    if not args.json_only:
+        print(report.render(), file=sys.stderr)
+    payload = report.to_json() + "\n"
     if args.out:
         Path(args.out).write_text(payload)
         if not args.json_only:
@@ -493,6 +630,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--out", default=None, help="write summary JSON here")
     chaos.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="append every control-plane record (clock advances, claims, "
+        "releases, quarantine transitions, admission decisions) to this "
+        "write-ahead journal file",
+    )
+    chaos.add_argument(
         "--config", default=None, metavar="FILE",
         help='JSON object with optional "faults" / "resilience" sections '
         "(malformed files exit 2 with a one-line error)",
@@ -558,6 +701,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--out", default=None, help="write report JSON here")
     verify.set_defaults(func=_cmd_verify)
+
+    crash = sub.add_parser(
+        "crash",
+        help="run crash→recover→continue cycles at every named crash "
+        "point and prove recovered runs are field-identical",
+    )
+    crash.add_argument(
+        "--scenario", default="tiny",
+        help="verification scenario: tiny | default | dense",
+    )
+    crash.add_argument(
+        "--seeds", default="3", metavar="N|A,B,...",
+        help="seed count (from 7) or explicit comma-separated seeds",
+    )
+    crash.add_argument(
+        "--snapshot-every", type=int, default=25, metavar="OPS",
+        help="ops between control-plane snapshots",
+    )
+    crash.add_argument(
+        "--json-only", action="store_true",
+        help="suppress the stderr progress/summary; print only the JSON",
+    )
+    crash.add_argument("--out", default=None, help="write report JSON here")
+    crash.set_defaults(func=_cmd_crash)
 
     query = sub.add_parser("query", help="evaluate a telemetry query")
     query.add_argument("dataset", help="dataset archive directory")

@@ -14,7 +14,12 @@ The subsystem's parts:
   outages and :class:`~repro.faults.domains.ScrapePartition`, the
   exporter↔store partition that blackholes a whole domain's scrapes;
 - :class:`~repro.faults.evacuation.EvacuationManager` — retries stranded
-  VMs through the scheduler with backoff, dead-lettering the unplaceable.
+  VMs through the scheduler with backoff, dead-lettering the unplaceable;
+- :mod:`repro.faults.crashpoints` — control-plane process death at named
+  barriers (:class:`~repro.faults.crashpoints.CrashInjector`) and
+  byte-level journal corruption.  Imported separately (like
+  ``repro.faults.scenario``) because it depends on :mod:`repro.recovery`,
+  which would cycle back through this package.
 
 Everything reports into one :class:`~repro.faults.report.FaultReport`,
 whose JSON rendering is byte-stable per seed.  ``repro.faults.scenario``

@@ -1,0 +1,137 @@
+"""Crash-point injection and byte-level journal corruption.
+
+Two fault families for the crash-consistency layer
+(:mod:`repro.recovery`):
+
+- **process death** — :class:`CrashInjector` is a barrier callback for
+  :class:`~repro.recovery.run.JournaledRun` that raises
+  :class:`SimulatedCrash` the first time a named barrier fires on a
+  chosen op.  Because the run's op stream and barrier sequence are
+  deterministic, a :class:`CrashSpec` pins the kill to an exact byte
+  position in the journal, repeatably;
+- **storage damage** — :func:`corrupt_journal` applies byte-level
+  damage a real disk or filesystem could inflict: tail truncation at an
+  arbitrary offset, a bit flip inside a record payload (tail or
+  interior), and a duplicated tail record (a misdirected retry of the
+  last append).
+
+Both are *injection only*: detection and refusal live in the recovery
+layer, and tests assert each damage mode is reported with a named
+journal offset rather than silently replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.recovery.journal import HEADER, _FRAME, read_journal
+from repro.recovery.run import CRASH_POINTS
+
+
+class SimulatedCrash(Exception):
+    """The injected process death; carries the barrier it happened at."""
+
+    def __init__(self, point: str, at_op: int) -> None:
+        self.point = point
+        self.at_op = at_op
+        super().__init__(f"simulated crash at {point!r} during op {at_op}")
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Kill the process the first time ``point`` fires on op ``at_op``.
+
+    Snapshot points (``mid-snapshot`` / ``post-snapshot``) only fire on
+    the run's snapshot cadence, so ``at_op`` must be the last op of a
+    snapshot window for those to trigger.
+    """
+
+    point: str
+    at_op: int
+
+    def __post_init__(self) -> None:
+        if self.point not in CRASH_POINTS:
+            raise ValueError(
+                f"unknown crash point {self.point!r}; "
+                f"expected one of {CRASH_POINTS}"
+            )
+        if self.at_op < 0:
+            raise ValueError("at_op must be >= 0")
+
+
+class CrashInjector:
+    """Barrier callback that dies once at the configured crash point.
+
+    Counts ``pre-op`` barrier firings to track the op index, so it
+    needs no channel to the run beyond the barrier itself.  After the
+    crash fires once the injector goes inert — a recovery driven with
+    the same injector instance will not crash again.
+    """
+
+    def __init__(self, spec: CrashSpec) -> None:
+        self.spec = spec
+        self.fired = False
+        self._op = -1
+
+    def __call__(self, point: str) -> None:
+        if point == "pre-op":
+            self._op += 1
+        if self.fired:
+            return
+        if point == self.spec.point and self._op == self.spec.at_op:
+            self.fired = True
+            raise SimulatedCrash(point, self._op)
+
+
+#: Byte-level damage modes :func:`corrupt_journal` understands.
+CORRUPTION_MODES = ("truncate", "bitflip-tail", "bitflip-interior", "dup-tail")
+
+
+def corrupt_journal(path: str | Path, mode: str, *, offset: int | None = None) -> int:
+    """Damage a journal file in place; returns the affected byte offset.
+
+    Modes:
+
+    - ``truncate`` — cut the file at ``offset`` (default: mid-way into
+      the final record), producing a torn tail;
+    - ``bitflip-tail`` — flip one bit inside the *last* record's
+      payload (recoverable: the tail is truncated and re-executed);
+    - ``bitflip-interior`` — flip one bit inside the *first* record's
+      payload (unrecoverable: interior history changed);
+    - ``dup-tail`` — append a byte-exact copy of the last framed
+      record, as a misdirected retried write would.
+    """
+    path = Path(path)
+    scan = read_journal(path)
+    if not scan.records:
+        raise ValueError(f"journal {path} has no records to corrupt")
+    data = bytearray(path.read_bytes())
+    first_off, _ = scan.records[0]
+    last_off, _ = scan.records[-1]
+    if mode == "truncate":
+        if offset is None:
+            offset = last_off + _FRAME.size + 1
+        if not len(HEADER) <= offset < len(data):
+            raise ValueError(f"truncation offset {offset} out of range")
+        with open(path, "r+b") as fh:
+            fh.truncate(offset)
+        return offset
+    if mode == "bitflip-tail":
+        target = last_off + _FRAME.size
+    elif mode == "bitflip-interior":
+        target = first_off + _FRAME.size
+    elif mode == "dup-tail":
+        with open(path, "ab") as fh:
+            fh.write(bytes(data[last_off:]))
+        return len(data)
+    else:
+        raise ValueError(
+            f"unknown corruption mode {mode!r}; "
+            f"expected one of {CORRUPTION_MODES}"
+        )
+    if offset is not None:
+        target = offset
+    data[target] ^= 0x01
+    path.write_bytes(bytes(data))
+    return target

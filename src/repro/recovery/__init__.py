@@ -1,0 +1,86 @@
+"""Crash-consistent control plane: write-ahead journal, snapshots, recovery.
+
+A long-running control plane does not only lose hosts (``repro.faults``)
+— it loses *itself*: the scheduler process dies mid-claim, mid-snapshot,
+or between writing its intent and applying it.  This package closes that
+gap with the classic durability triad:
+
+- :mod:`repro.recovery.journal` — an append-only write-ahead journal of
+  length+CRC32-framed records (placement claims/releases, admission
+  decisions, quarantine transitions, sim-clock advances, per-op commit
+  records), with torn-tail detection and named-offset corruption errors;
+- :mod:`repro.recovery.snapshot` — periodic full-state snapshots
+  (placement inventory + allocations, node residency, scheduler
+  counters, quarantine/admission state, RNG streams) committed with an
+  atomic rename so a crash mid-write can never produce a half-snapshot;
+- :mod:`repro.recovery.run` — :class:`~repro.recovery.run.JournaledRun`,
+  the crash-consistent execution of a seeded placement workload, and
+  :func:`~repro.recovery.run.recover_and_continue`, which loads the
+  latest valid snapshot, replays (and cross-checks) the journal suffix,
+  and finishes the run;
+- :mod:`repro.recovery.harness` — the crash→recover→continue cycle
+  driver behind ``repro crash``, which proves recovered runs are
+  field-identical to uninterrupted ones under the ``repro.verify``
+  oracle.
+
+Crash *injection* (the named kill-points and byte-level journal
+corruption) lives in :mod:`repro.faults.crashpoints`, beside the rest of
+the fault models.
+"""
+
+from repro.recovery.journal import (
+    JournalCorruption,
+    JournalScan,
+    JournalWriter,
+    read_journal,
+)
+from repro.recovery.run import (
+    CRASH_POINTS,
+    JournaledRun,
+    RecoveryError,
+    RecoveryInfo,
+    recover_and_continue,
+    run_journaled,
+)
+from repro.recovery.snapshot import (
+    SnapshotStore,
+    capture_rng_state,
+    restore_rng_state,
+)
+
+#: Harness exports resolved lazily (PEP 562): the harness imports
+#: :mod:`repro.faults.crashpoints`, which imports this package's journal
+#: module — eager import here would make that a cycle whenever
+#: ``repro.faults.crashpoints`` is imported first.
+_HARNESS_EXPORTS = frozenset(
+    {"CrashCycle", "CrashReport", "CorruptionCase", "run_crash_cycles"}
+)
+
+
+def __getattr__(name: str):
+    if name in _HARNESS_EXPORTS:
+        from repro.recovery import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CRASH_POINTS",
+    "CorruptionCase",
+    "CrashCycle",
+    "CrashReport",
+    "JournalCorruption",
+    "JournalScan",
+    "JournalWriter",
+    "JournaledRun",
+    "RecoveryError",
+    "RecoveryInfo",
+    "SnapshotStore",
+    "capture_rng_state",
+    "read_journal",
+    "recover_and_continue",
+    "restore_rng_state",
+    "run_crash_cycles",
+    "run_journaled",
+]

@@ -1,0 +1,181 @@
+"""Append-only write-ahead journal with CRC32-framed records.
+
+File layout::
+
+    +--------+---------+   +--------+--------+-----------------+
+    | magic  | version |   | length | crc32  | payload (JSON)  |  ...
+    | 4 B    | u32 LE  |   | u32 LE | u32 LE | `length` bytes  |
+    +--------+---------+   +--------+--------+-----------------+
+
+Each record's payload is canonical JSON (sorted keys, compact
+separators), so a journal written twice from the same seeded run is
+byte-identical.  The framing gives the two failure semantics a WAL
+needs:
+
+- **torn tail** — the file ends inside a frame, or the *last* frame
+  fails its CRC: the classic crash-during-append.  :func:`read_journal`
+  reports it (``truncated_at`` names the byte offset) and keeps every
+  record before it; recovery truncates the tail and re-executes the
+  lost suffix deterministically.
+- **interior corruption** — a frame *before* the tail fails its CRC or
+  does not parse: that is never a legal crash artifact of append-only
+  writes, so it raises :class:`JournalCorruption` naming the record
+  offset rather than silently replaying damaged history.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+MAGIC = b"RJRN"
+FORMAT_VERSION = 1
+HEADER = MAGIC + struct.pack("<I", FORMAT_VERSION)
+_FRAME = struct.Struct("<II")
+#: Upper bound on one record's payload; a corrupt length field beyond it
+#: is reported as corruption instead of attempting a huge allocation.
+MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+
+class JournalCorruption(Exception):
+    """Interior journal damage at a named byte offset (never torn tail)."""
+
+    def __init__(self, offset: int, reason: str) -> None:
+        self.offset = offset
+        self.reason = reason
+        super().__init__(f"journal corrupt at offset {offset}: {reason}")
+
+
+def encode_record(record: dict) -> bytes:
+    """One framed record: canonical JSON payload behind length+CRC32."""
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class JournalWriter:
+    """Appender for one journal file; flushes after every record.
+
+    Creating a writer on a missing/empty path writes the file header; on
+    an existing journal it appends after the current end.  The caller is
+    responsible for validating an existing file first (recovery does,
+    truncating any torn tail) — the writer never reads.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._fh = open(self.path, "ab")
+        if fresh:
+            self._fh.write(HEADER)
+            self._fh.flush()
+        self.records_written = 0
+
+    def append(self, record: dict) -> int:
+        """Durably append one record; returns its byte offset."""
+        offset = self._fh.tell()
+        self._fh.write(encode_record(record))
+        self._fh.flush()
+        self.records_written += 1
+        return offset
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalScan:
+    """Everything one pass over a journal file found."""
+
+    path: str
+    #: Every intact record, in append order, with its byte offset.
+    records: list[tuple[int, dict]] = field(default_factory=list)
+    #: Byte offset where valid data ends (== file size when clean).
+    valid_end: int = 0
+    #: Offset of a torn/corrupt tail frame, or None when the file is clean.
+    truncated_at: int | None = None
+    truncated_reason: str = ""
+
+    @property
+    def torn(self) -> bool:
+        return self.truncated_at is not None
+
+
+def read_journal(path: str | Path) -> JournalScan:
+    """Scan a journal; tolerate a torn tail, raise on interior damage.
+
+    The tail rule: a frame that is incomplete, oversized, CRC-bad, or
+    unparseable is a *torn tail* if and only if it is the last thing in
+    the file; the same damage followed by further bytes means the middle
+    of history changed underneath us → :class:`JournalCorruption`.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < len(HEADER) or data[: len(MAGIC)] != MAGIC:
+        raise JournalCorruption(0, "missing or damaged file header")
+    (version,) = struct.unpack_from("<I", data, len(MAGIC))
+    if version != FORMAT_VERSION:
+        raise JournalCorruption(
+            len(MAGIC), f"unsupported journal format {version}"
+        )
+    scan = JournalScan(path=str(path), valid_end=len(HEADER))
+    pos = len(HEADER)
+    size = len(data)
+
+    def torn(offset: int, reason: str) -> JournalScan:
+        scan.truncated_at = offset
+        scan.truncated_reason = reason
+        return scan
+
+    while pos < size:
+        if pos + _FRAME.size > size:
+            return torn(pos, "incomplete frame header")
+        length, crc = _FRAME.unpack_from(data, pos)
+        end = pos + _FRAME.size + length
+        if length > MAX_RECORD_BYTES:
+            return torn(pos, f"implausible record length {length}")
+        if end > size:
+            return torn(pos, "incomplete record payload")
+        payload = data[pos + _FRAME.size : end]
+        if zlib.crc32(payload) != crc:
+            if end == size:
+                return torn(pos, "CRC mismatch in tail record")
+            raise JournalCorruption(pos, "CRC mismatch in interior record")
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            if end == size:
+                return torn(pos, f"unparseable tail record: {exc}")
+            raise JournalCorruption(
+                pos, f"unparseable interior record: {exc}"
+            ) from exc
+        scan.records.append((pos, record))
+        scan.valid_end = end
+        pos = end
+    return scan
+
+
+def truncate_torn_tail(path: str | Path, scan: JournalScan) -> int:
+    """Physically drop a torn tail; returns the number of bytes removed.
+
+    No-op (returns 0) when the scan found the file clean.
+    """
+    path = Path(path)
+    if not scan.torn:
+        return 0
+    size = path.stat().st_size
+    with open(path, "r+b") as fh:
+        fh.truncate(scan.valid_end)
+    return size - scan.valid_end

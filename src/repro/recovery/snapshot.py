@@ -1,0 +1,117 @@
+"""Atomic control-plane snapshots and RNG stream capture.
+
+A snapshot is one JSON document carrying the full recoverable state of a
+control plane at an op boundary, wrapped with a CRC32 of its canonical
+body so a damaged file is *skipped*, never half-loaded.  Commits are
+atomic: the document is written to a ``.tmp`` sibling and ``os.replace``d
+into place, so a crash mid-write leaves either the previous snapshot
+set intact or an ignorable temp file — never a torn snapshot under the
+final name.
+
+RNG capture: ``numpy``'s ``Generator`` exposes its bit-generator state
+as a JSON-able dict, so seeded streams can be frozen into a snapshot and
+resumed mid-sequence — a recovered control plane continues drawing the
+exact numbers the uninterrupted one would have.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+SNAPSHOT_FORMAT = 1
+_PREFIX = "snap-"
+_SUFFIX = ".json"
+
+
+def capture_rng_state(rng: np.random.Generator) -> dict:
+    """Freeze a numpy Generator's position as a JSON-able document."""
+    state = rng.bit_generator.state
+    return json.loads(json.dumps(state))
+
+
+def restore_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Rewind/advance a Generator to a previously captured position."""
+    rng.bit_generator.state = state
+
+
+def _body_bytes(state: dict) -> bytes:
+    return json.dumps(
+        state, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+class SnapshotStore:
+    """Numbered snapshots in one directory, newest-valid-wins on load."""
+
+    def __init__(self, directory: str | Path, *, keep: int = 3) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if keep < 1:
+            raise ValueError("must keep at least one snapshot")
+        self.keep = keep
+
+    def _path(self, op_index: int) -> Path:
+        return self.directory / f"{_PREFIX}{op_index:08d}{_SUFFIX}"
+
+    def write(self, op_index: int, state: dict, *, barrier=None) -> Path:
+        """Atomically commit one snapshot; prunes old ones on success.
+
+        ``barrier`` (if given) is called with ``"mid-snapshot"`` after
+        the temp file is fully written but *before* the atomic rename —
+        the exact window a crash must not be able to lose data in.
+        """
+        body = _body_bytes(state)
+        document = {
+            "format": SNAPSHOT_FORMAT,
+            "op_index": op_index,
+            "crc": zlib.crc32(body),
+            "state": state,
+        }
+        path = self._path(op_index)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, sort_keys=True, separators=(",", ":"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        if barrier is not None:
+            barrier("mid-snapshot")
+        os.replace(tmp, path)
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        snapshots = sorted(self.directory.glob(f"{_PREFIX}*{_SUFFIX}"))
+        for stale in snapshots[: -self.keep]:
+            stale.unlink()
+
+    def load_latest(self) -> tuple[int, dict] | None:
+        """Newest snapshot that validates; skips damaged/partial files.
+
+        Returns ``(op_index, state)`` or ``None`` when no valid snapshot
+        exists.  ``.tmp`` leftovers of interrupted commits are ignored by
+        construction (they never match the final-name glob).
+        """
+        candidates = sorted(
+            self.directory.glob(f"{_PREFIX}*{_SUFFIX}"), reverse=True
+        )
+        for path in candidates:
+            try:
+                document = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(document, dict):
+                continue
+            if document.get("format") != SNAPSHOT_FORMAT:
+                continue
+            state = document.get("state")
+            if state is None:
+                continue
+            if zlib.crc32(_body_bytes(state)) != document.get("crc"):
+                continue
+            return int(document["op_index"]), state
+        return None

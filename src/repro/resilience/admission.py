@@ -73,6 +73,10 @@ class AdmissionController:
         observer = getattr(scheduler, "claim_observer", "absent")
         if observer is None:
             scheduler.claim_observer = self._on_claim
+        #: Optional write-ahead hook: called with a JSON-able record on
+        #: every admission decision (admit / shed), before the decision
+        #: takes effect.
+        self.journal_sink: Any = None
 
     # -- claim feedback ------------------------------------------------------
 
@@ -112,6 +116,44 @@ class AdmissionController:
             return 0.0
         return float(self.rng.uniform(0, self.config.admission_retry_jitter_s))
 
+    def _journal(self, decision: str, vm_id: str, now: float, *,
+                 reason: str | None = None) -> None:
+        if self.journal_sink is None:
+            return
+        record = {"t": "admission", "decision": decision, "vm": vm_id,
+                  "time": now}
+        if reason is not None:
+            record["reason"] = reason
+        self.journal_sink(record)
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-able snapshot of bucket, breaker, and streak state."""
+        return {
+            "tokens": self._tokens,
+            "last_refill": self._last_refill,
+            "novalid_streak": self._novalid_streak,
+            "breaker_open_until": self._breaker_open_until,
+            "bb_fail_streak": dict(sorted(self._bb_fail_streak.items())),
+            "bb_open_until": dict(sorted(self._bb_open_until.items())),
+            "now": self._now,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstate an :meth:`export_state` snapshot."""
+        self._tokens = float(state["tokens"])
+        self._last_refill = float(state["last_refill"])
+        self._novalid_streak = int(state["novalid_streak"])
+        self._breaker_open_until = float(state["breaker_open_until"])
+        self._bb_fail_streak = {
+            bb: int(v) for bb, v in state["bb_fail_streak"].items()
+        }
+        self._bb_open_until = {
+            bb: float(v) for bb, v in state["bb_open_until"].items()
+        }
+        self._now = float(state["now"])
+
     # -- the front door ------------------------------------------------------
 
     def submit(self, spec: RequestSpec, now: float):
@@ -126,6 +168,7 @@ class AdmissionController:
 
         if self._breaker_open_until > now:
             self.report.shed_breaker += 1
+            self._journal("shed", spec.vm_id, now, reason="breaker_open")
             raise AdmissionRejected(
                 "breaker_open",
                 (self._breaker_open_until - now) + self._retry_jitter(),
@@ -135,6 +178,7 @@ class AdmissionController:
             self._refill(now)
             if self._tokens < 1.0:
                 self.report.shed_rate_limit += 1
+                self._journal("shed", spec.vm_id, now, reason="rate_limit")
                 deficit = (1.0 - self._tokens) / self.config.admission_rate_per_s
                 raise AdmissionRejected("rate_limit", deficit + self._retry_jitter())
             self._tokens -= 1.0
@@ -143,6 +187,7 @@ class AdmissionController:
         if open_bbs:
             spec = replace(spec, excluded_hosts=spec.excluded_hosts | open_bbs)
 
+        self._journal("admit", spec.vm_id, now)
         self.report.requests_admitted += 1
         try:
             result = self.scheduler.schedule(spec)

@@ -113,8 +113,17 @@ def chaos_topology(config: ChaosConfig) -> TopologySpec:
     )
 
 
-def run_chaos_scenario(config: ChaosConfig | None = None) -> SimulationResult:
-    """Run the chaos scenario once; the result carries both reports."""
+def run_chaos_scenario(
+    config: ChaosConfig | None = None, journal=None
+) -> SimulationResult:
+    """Run the chaos scenario once; the result carries both reports.
+
+    ``journal`` (a callable taking one JSON-able dict) receives every
+    control-plane audit record — sim-clock advances, placement claims
+    and releases, quarantine transitions, admission decisions — in
+    event order; ``repro chaos --journal`` plugs a write-ahead
+    :class:`~repro.recovery.journal.JournalWriter` in here.
+    """
     config = config or ChaosConfig()
     sim = RegionSimulation(
         chaos_topology(config),
@@ -128,6 +137,7 @@ def run_chaos_scenario(config: ChaosConfig | None = None) -> SimulationResult:
             faults=config.faults,
             resilience=config.resilience,
         ),
+        journal=journal,
     )
     return sim.run()
 

@@ -85,6 +85,10 @@ class HostHealthService:
         self.quarantine_residents: dict[str, frozenset[str]] = {}
         #: Anything exposing ``invalidate_host(bb_id)`` (the scheduler).
         self.scheduler: Any = None
+        #: Optional write-ahead hook: called with a JSON-able record on
+        #: every quarantine transition (quarantine / extend / readmit),
+        #: before the transition is applied to node state.
+        self.journal_sink: Any = None
 
     # -- wiring ---------------------------------------------------------------
 
@@ -148,6 +152,11 @@ class HostHealthService:
         self, engine: SimulationEngine, node: ComputeNode, now: float
     ) -> None:
         rec = self._records[node.node_id]
+        if self.journal_sink is not None:
+            self.journal_sink(
+                {"t": "quarantine", "node": node.node_id, "time": now,
+                 "epoch": rec.epoch + 1, "count": rec.quarantine_count + 1}
+            )
         if rec.quarantine_count > 0:
             self.report.re_quarantines += 1
         rec.quarantine_count += 1
@@ -183,6 +192,11 @@ class HostHealthService:
         node = next(n for n in self._nodes if n.node_id == node_id)
         if node.failed:
             # Still hard-down at expiry: keep the fence, probe again later.
+            if self.journal_sink is not None:
+                self.journal_sink(
+                    {"t": "quarantine-extend", "node": node_id,
+                     "time": engine.now, "epoch": epoch}
+                )
             engine.schedule(
                 engine.now + self.config.quarantine_base_s,
                 QUARANTINE_END,
@@ -190,6 +204,11 @@ class HostHealthService:
                 epoch=epoch,
             )
             return
+        if self.journal_sink is not None:
+            self.journal_sink(
+                {"t": "readmit", "node": node_id, "time": engine.now,
+                 "epoch": epoch}
+            )
         node.quarantined = False
         self.quarantine_residents.pop(node_id, None)
         rec.state = HealthState.PROBATION
@@ -215,3 +234,50 @@ class HostHealthService:
             invalidate = getattr(self.scheduler, "invalidate_host", None)
             if invalidate is not None:
                 invalidate(bb_id)
+
+    # -- snapshot / restore -----------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-able snapshot of all quarantine/flap bookkeeping."""
+        return {
+            "records": {
+                node_id: {
+                    "state": rec.state.value,
+                    "last_observed_down": rec.last_observed_down,
+                    "transitions": list(rec.transitions),
+                    "quarantine_count": rec.quarantine_count,
+                    "probation_until": rec.probation_until,
+                    "epoch": rec.epoch,
+                }
+                for node_id, rec in sorted(self._records.items())
+            },
+            "quarantined_bbs": sorted(self.quarantined_bbs),
+            "quarantine_residents": {
+                node_id: sorted(vms)
+                for node_id, vms in sorted(self.quarantine_residents.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstate an :meth:`export_state` snapshot, re-fencing nodes.
+
+        Node ``quarantined`` flags are re-applied to this service's
+        region so the scheduler-visible fences match the snapshot.
+        """
+        for node_id, saved in state["records"].items():
+            rec = self._records[node_id]
+            rec.state = HealthState(saved["state"])
+            rec.last_observed_down = bool(saved["last_observed_down"])
+            rec.transitions = deque(float(t) for t in saved["transitions"])
+            rec.quarantine_count = int(saved["quarantine_count"])
+            rec.probation_until = float(saved["probation_until"])
+            rec.epoch = int(saved["epoch"])
+        self.quarantined_bbs = set(state["quarantined_bbs"])
+        self.quarantine_residents = {
+            node_id: frozenset(vms)
+            for node_id, vms in state["quarantine_residents"].items()
+        }
+        for node in self._nodes:
+            node.quarantined = (
+                self._records[node.node_id].state is HealthState.QUARANTINED
+            )

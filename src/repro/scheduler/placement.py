@@ -87,6 +87,11 @@ def _amounts_from_capacity(cap: Capacity) -> dict[str, float]:
 #: provider followed by "claim" on the target.
 PlacementListener = Callable[[str, str], None]
 
+#: Journal sink: ``(event, consumer_id, provider_id, amounts)``.  Unlike
+#: the index listener above, this carries the full allocation identity so
+#: a write-ahead journal can record exactly what changed.
+PlacementJournalSink = Callable[[str, str, str, dict], None]
+
 
 class PlacementService:
     """Inventory + allocation store with atomic claims."""
@@ -95,6 +100,7 @@ class PlacementService:
         self._providers: dict[str, ResourceProvider] = {}
         self._allocations: dict[str, Allocation] = {}
         self._listeners: list[PlacementListener] = []
+        self._journal_sinks: list[PlacementJournalSink] = []
         self._counters = {key: 0 for key in PLACEMENT_STAT_KEYS}
 
     # -- observability ----------------------------------------------------------
@@ -108,9 +114,24 @@ class PlacementService:
         if listener in self._listeners:
             self._listeners.remove(listener)
 
+    def add_journal_sink(self, sink: PlacementJournalSink) -> None:
+        """Subscribe a write-ahead journal to claims/releases/moves."""
+        self._journal_sinks.append(sink)
+
+    def remove_journal_sink(self, sink: PlacementJournalSink) -> None:
+        """Unsubscribe a journal sink (no-op if absent)."""
+        if sink in self._journal_sinks:
+            self._journal_sinks.remove(sink)
+
     def _notify(self, event: str, provider_id: str) -> None:
         for listener in self._listeners:
             listener(event, provider_id)
+
+    def _journal(
+        self, event: str, consumer_id: str, provider_id: str, amounts: dict
+    ) -> None:
+        for sink in self._journal_sinks:
+            sink(event, consumer_id, provider_id, amounts)
 
     def stats(self) -> dict[str, int]:
         """Canonical operation counters: claims, releases, moves, failed."""
@@ -188,6 +209,7 @@ class PlacementService:
         staged = {
             rc: provider.used.get(rc, 0.0) + amount for rc, amount in amounts.items()
         }
+        self._journal("claim", consumer_id, provider_id, amounts)
         provider.used.update(staged)
         allocation = Allocation(consumer_id, provider_id, amounts)
         self._allocations[consumer_id] = allocation
@@ -201,6 +223,9 @@ class PlacementService:
         if allocation is None:
             raise AllocationError(f"consumer {consumer_id} has no allocation")
         provider = self.provider(allocation.provider_id)
+        self._journal(
+            "release", consumer_id, allocation.provider_id, allocation.amounts
+        )
         for rc, amount in allocation.amounts.items():
             provider.used[rc] = max(0.0, provider.used.get(rc, 0.0) - amount)
         self._notify("release", allocation.provider_id)
@@ -224,6 +249,7 @@ class PlacementService:
                 f"move of {consumer_id} to {new_provider_id} does not fit"
             )
         self._drop_allocation(consumer_id)
+        self._journal("claim", consumer_id, new_provider_id, allocation.amounts)
         for rc, amount in allocation.amounts.items():
             target.used[rc] = target.used.get(rc, 0.0) + amount
         moved = Allocation(consumer_id, new_provider_id, allocation.amounts)
@@ -247,6 +273,62 @@ class PlacementService:
         against ground-truth node residency.
         """
         return [self._allocations[cid] for cid in sorted(self._allocations)]
+
+    # -- snapshot / restore ------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-able snapshot of the mutable store: usage, allocations, stats.
+
+        Provider *inventories* are deliberately excluded — they derive
+        from the building-block topology and are re-registered on
+        recovery; only what claims mutated is captured.
+        """
+        return {
+            "used": {
+                pid: {rc: provider.used.get(rc, 0.0) for rc in provider.inventory}
+                for pid, provider in sorted(self._providers.items())
+            },
+            "allocations": {
+                cid: {
+                    "provider": alloc.provider_id,
+                    "amounts": dict(alloc.amounts),
+                }
+                for cid, alloc in sorted(self._allocations.items())
+            },
+            "counters": dict(self._counters),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstate an :meth:`export_state` snapshot onto this store.
+
+        Every provider named in the snapshot must already be registered
+        (recovery rebuilds the region first); unknown providers raise
+        :class:`AllocationError` instead of resurrecting ghosts.
+        """
+        for pid in state["used"]:
+            if pid not in self._providers:
+                raise AllocationError(
+                    f"snapshot names unknown provider {pid!r}; "
+                    "register the topology before restoring"
+                )
+        for pid, used in state["used"].items():
+            self._providers[pid].used = {
+                rc: float(amount) for rc, amount in used.items()
+            }
+        self._allocations = {
+            cid: Allocation(
+                consumer_id=cid,
+                provider_id=alloc["provider"],
+                amounts={rc: float(v) for rc, v in alloc["amounts"].items()},
+            )
+            for cid, alloc in state["allocations"].items()
+        }
+        self._counters = {
+            key: int(state["counters"].get(key, 0)) for key in PLACEMENT_STAT_KEYS
+        }
+        for listener in self._listeners:
+            for pid in state["used"]:
+                listener("claim", pid)
 
     def usage_report(self) -> dict[str, dict[str, float]]:
         """Per-provider used/capacity fractions for each resource class."""

@@ -36,6 +36,11 @@ class SimulationEngine:
         self._handlers: dict[str, Handler] = {}
         self.now = start_time
         self.processed = 0
+        #: Optional write-ahead hook: called with a JSON-able record for
+        #: every sim-clock advance (one per dispatched event), *before*
+        #: the handler runs — the clock position is durable even if the
+        #: handler dies mid-flight.  None keeps the hot loop branch-cheap.
+        self.journal_sink: Callable[[dict], None] | None = None
 
     def on(self, kind: str, handler: Handler) -> None:
         """Register the handler for an event kind (one handler per kind)."""
@@ -86,6 +91,11 @@ class SimulationEngine:
         handler = self._handlers.get(event.kind)
         if handler is None:
             raise KeyError(f"no handler registered for event kind {event.kind!r}")
+        if self.journal_sink is not None:
+            self.journal_sink(
+                {"t": "clock", "time": event.time, "seq": event.seq,
+                 "kind": event.kind}
+            )
         handler(self, event)
         self.processed += 1
         return event

@@ -15,6 +15,7 @@ telemetry of the figure benchmarks comes from the faster vectorised
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 import numpy as np
 
@@ -138,6 +139,7 @@ class RegionSimulation:
         config: SimulationConfig | None = None,
         scheduler: FilterScheduler | None = None,
         catalog: FlavorCatalog | None = None,
+        journal: Callable[[dict], None] | None = None,
     ) -> None:
         self.config = config or SimulationConfig()
         self.rng = np.random.default_rng(self.config.seed)
@@ -145,6 +147,18 @@ class RegionSimulation:
         self.placement = PlacementService()
         for bb in self.region.iter_building_blocks():
             self.placement.register_building_block(bb)
+        # -- audit journal: one sink receives every control-plane record
+        # (sim-clock advances, placement claims/releases, quarantine
+        # transitions, admission decisions).  ``repro chaos --journal``
+        # plugs a JournalWriter's append in here.
+        self.journal = journal
+        if journal is not None:
+            self.placement.add_journal_sink(
+                lambda event, cid, pid, amounts: journal(
+                    {"t": event, "vm": cid, "bb": pid,
+                     "amounts": dict(amounts)}
+                )
+            )
         scheduler_config = self.config.scheduler_config or SchedulerConfig().fast()
 
         # -- resilience layer, part 1: the health service must exist before
@@ -163,6 +177,7 @@ class RegionSimulation:
                 self.resilience_report,
                 rng=np.random.default_rng(resilience.seed),
             )
+            self.health.journal_sink = journal
             filters = (
                 list(scheduler_config.filters)
                 if scheduler_config.filters is not None
@@ -194,6 +209,7 @@ class RegionSimulation:
         self.drs = DrsBalancer(config=DrsConfig())
         self.demand_model = DemandModel(self.rng)
         self.engine = SimulationEngine(start_time=self.config.start_time)
+        self.engine.journal_sink = journal
         self.engine.on(VM_CREATE, self._handle_create)
         self.engine.on(VM_DELETE, self._handle_delete)
         self.engine.on(VM_RESIZE, self._handle_resize)
@@ -211,6 +227,7 @@ class RegionSimulation:
                 self.resilience_report,
                 rng=np.random.default_rng(resilience.seed + 1),
             )
+            self.admission.journal_sink = journal
             self.reconciler = InventoryReconciler(
                 self, resilience, self.resilience_report
             )

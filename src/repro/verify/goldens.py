@@ -11,11 +11,18 @@ Canonical form: recursively sorted keys, floats rounded to 9 places,
 NaN rendered as ``null`` (JSON has no NaN and goldens must be
 byte-stable across platforms), trailing newline.  Nothing in the
 document depends on wall clock, host name, or filesystem layout.
+
+Storage: goldens are gzip-compressed (``.json.gz``, written with a
+zeroed mtime so compression itself is byte-stable) — the documents are
+highly repetitive JSON and compress ~20x.  Loading is transparent: a
+legacy uncompressed ``.json`` file is still read if no ``.json.gz``
+exists, and ``--update-goldens`` always writes the compressed form.
 """
 
 from __future__ import annotations
 
 import difflib
+import gzip
 import json
 import math
 from dataclasses import dataclass
@@ -116,7 +123,41 @@ def default_goldens_dir() -> Path:
 
 
 def golden_path(goldens_dir: Path, scenario_name: str, seed: int) -> Path:
-    return Path(goldens_dir) / f"{scenario_name}-seed{seed}.json"
+    """Canonical (compressed) golden location for one (scenario, seed)."""
+    return Path(goldens_dir) / f"{scenario_name}-seed{seed}.json.gz"
+
+
+def _legacy_path(path: Path) -> Path:
+    """The pre-compression location: same name without the ``.gz``."""
+    return path.with_suffix("")
+
+
+def read_golden_text(path: Path) -> str | None:
+    """Load a golden's text, transparently handling both storage forms.
+
+    Prefers the compressed file at ``path``; falls back to a legacy
+    uncompressed sibling.  Returns None when neither exists.
+    """
+    if path.exists():
+        return gzip.decompress(path.read_bytes()).decode("utf-8")
+    legacy = _legacy_path(path)
+    if legacy.exists():
+        return legacy.read_text()
+    return None
+
+
+def write_golden_text(path: Path, text: str) -> None:
+    """Store a golden compressed, byte-stably (fixed mtime), atomically-ish.
+
+    A leftover legacy ``.json`` sibling is removed so the store never
+    holds two divergent copies of the same golden.
+    """
+    path.write_bytes(
+        gzip.compress(text.encode("utf-8"), mtime=0)
+    )
+    legacy = _legacy_path(path)
+    if legacy.exists():
+        legacy.unlink()
 
 
 @dataclass
@@ -150,7 +191,8 @@ def check_golden(
     goldens_dir = Path(goldens_dir or default_goldens_dir())
     path = golden_path(goldens_dir, scenario.name, seed)
     got = render_document(golden_document(scenario, seed))
-    if not path.exists():
+    want = read_golden_text(path)
+    if want is None:
         return GoldenResult(
             scenario=scenario.name,
             seed=seed,
@@ -159,7 +201,6 @@ def check_golden(
             diff=f"golden file {path} does not exist; "
             "run `repro verify --update-goldens` to create it",
         )
-    want = path.read_text()
     if want == got:
         return GoldenResult(
             scenario=scenario.name, seed=seed, path=str(path), status="ok"
@@ -189,5 +230,5 @@ def update_golden(
     goldens_dir = Path(goldens_dir or default_goldens_dir())
     goldens_dir.mkdir(parents=True, exist_ok=True)
     path = golden_path(goldens_dir, scenario.name, seed)
-    path.write_text(render_document(golden_document(scenario, seed)))
+    write_golden_text(path, render_document(golden_document(scenario, seed)))
     return path

@@ -357,6 +357,19 @@ def _pick_node(bb: BuildingBlock, spec: RequestSpec) -> ComputeNode | None:
     )
 
 
+#: Public aliases: the recovery layer replays the same workload through
+#: the same node-choice policy and inventory snapshot as the oracle, so
+#: a recovered run is comparable field-by-field with an oracle replay.
+def pick_node(bb: BuildingBlock, spec: RequestSpec) -> ComputeNode | None:
+    return _pick_node(bb, spec)
+
+
+def inventory_snapshot(
+    placement: PlacementService, bb_index: dict[str, BuildingBlock]
+) -> dict[str, dict[str, float | int]]:
+    return _inventory_snapshot(placement, bb_index)
+
+
 def _inventory_snapshot(
     placement: PlacementService, bb_index: dict[str, BuildingBlock]
 ) -> dict[str, dict[str, float | int]]:

@@ -274,12 +274,19 @@ def _check_goldens(
     )
 
 
-def run_verify(config: VerifyConfig) -> VerifyReport:
-    """Run every selected check for every seed; never raises on divergence."""
+def run_verify(config: VerifyConfig, progress=None) -> VerifyReport:
+    """Run every selected check for every seed; never raises on divergence.
+
+    ``progress`` (a callable taking one string) is told which check is
+    about to run — the CLI uses it to report where an interrupted run
+    got to.
+    """
     scenario = get_scenario(config.scenario)
     outcomes: list[CheckOutcome] = []
     for seed in config.seeds:
         for check in config.checks:
+            if progress is not None:
+                progress(f"{check} (seed {seed})")
             if check == "oracle":
                 outcomes.append(
                     _check_oracle(scenario, seed, config.inject_desync)

@@ -1,0 +1,67 @@
+"""The per-test timeout ceiling works with or without pytest-timeout.
+
+``addopts`` passes ``--timeout=300``; when pytest-timeout is absent,
+``tests/conftest.py`` registers a SIGALRM fallback for the same option.
+These meta-tests spawn a real pytest subprocess on a throwaway test file
+*under tests/* (so the repository conftest — and with it the fallback —
+is in scope) and assert the ceiling actually kills a hung test.
+"""
+
+from __future__ import annotations
+
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+
+TESTS_DIR = Path(__file__).resolve().parent
+
+_SLEEPER = """\
+import time
+
+
+def test_sleeps_past_the_ceiling():
+    time.sleep(2.0)
+"""
+
+
+def _run_probe(timeout_arg: str) -> subprocess.CompletedProcess:
+    probe_dir = Path(
+        tempfile.mkdtemp(prefix="_timeout_probe_", dir=TESTS_DIR)
+    )
+    try:
+        probe = probe_dir / "test_probe_sleeper.py"
+        probe.write_text(_SLEEPER)
+        return subprocess.run(
+            [
+                sys.executable, "-m", "pytest", str(probe),
+                "-p", "no:cacheprovider", "-q", timeout_arg,
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            cwd=TESTS_DIR.parent,
+        )
+    finally:
+        shutil.rmtree(probe_dir, ignore_errors=True)
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"), reason="needs SIGALRM for the fallback"
+)
+def test_timeout_ceiling_kills_a_hung_test():
+    result = _run_probe("--timeout=1")
+    assert result.returncode != 0
+    combined = result.stdout + result.stderr
+    # pytest-timeout says "Timeout >1.0s"; the fallback names the ceiling.
+    assert "ceiling" in combined or "Timeout" in combined
+
+
+def test_timeout_option_is_always_accepted():
+    """--timeout must parse whether the plugin or the fallback owns it."""
+    result = _run_probe("--timeout=30")
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -11,8 +11,11 @@ from repro.scheduler.hoststate import HostState
 from repro.verify.goldens import (
     check_golden,
     golden_document,
+    golden_path,
+    read_golden_text,
     render_document,
     update_golden,
+    write_golden_text,
 )
 from repro.verify.metamorphic import (
     check_block_split_invariance,
@@ -186,21 +189,38 @@ def test_golden_lifecycle(tmp_path):
 
     path = update_golden(TINY, 7, tmp_path)
     assert path.exists()
+    assert path.suffix == ".gz"
     assert check_golden(TINY, 7, tmp_path).ok
 
-    # Regeneration is byte-identical.
+    # Regeneration is byte-identical, compression included (mtime=0).
     first = path.read_bytes()
     update_golden(TINY, 7, tmp_path)
     assert path.read_bytes() == first
 
     # Any drift fails with a readable unified diff.
-    doc = json.loads(path.read_text())
+    doc = json.loads(read_golden_text(path))
     doc["schedule"]["scheduler_stats"]["requests"] += 1
-    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    write_golden_text(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
     result = check_golden(TINY, 7, tmp_path)
     assert result.status == "mismatch"
     assert "+++ recomputed" in result.diff
     assert '"requests"' in result.diff
+
+
+def test_golden_legacy_uncompressed_fallback(tmp_path):
+    """A pre-compression .json golden is still read transparently."""
+    text = render_document(golden_document(TINY, 7))
+    path = golden_path(tmp_path, TINY.name, 7)
+    legacy = path.with_suffix("")  # strips .gz -> the old .json name
+    legacy.write_text(text)
+    assert read_golden_text(path) == text
+    assert check_golden(TINY, 7, tmp_path).ok
+
+    # --update-goldens migrates: writes .json.gz, removes the .json.
+    update_golden(TINY, 7, tmp_path)
+    assert path.exists()
+    assert not legacy.exists()
+    assert check_golden(TINY, 7, tmp_path).ok
 
 
 def test_checked_in_goldens_match():
