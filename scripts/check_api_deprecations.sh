@@ -6,6 +6,10 @@
 #     pass a SchedulerConfig instead.
 #   * MetricStore.query_range(...) — use repro.telemetry.query.query_range
 #     (or MetricStore.window).
+#   * The legacy per-CLI --config shapes (flat FaultConfig for
+#     `repro faults`, sections-only for `repro chaos`) — write the
+#     unified ScenarioSpec shape; the shims in repro/config.py exist for
+#     one release.
 #
 # Scans src/, examples/, benchmarks/, and scripts/.  tests/ is excluded
 # deliberately: the shims' deprecation behaviour is itself under test
@@ -36,6 +40,20 @@ hits=$(grep -rnE '\.query_range\(' src examples benchmarks scripts 2>/dev/null |
     grep -v 'scripts/check_api_deprecations.sh' || true)
 if [ -n "$hits" ]; then
     echo "Deprecated MetricStore.query_range calls found (use repro.telemetry.query):" >&2
+    echo "$hits" >&2
+    status=1
+fi
+
+# Legacy per-CLI --config shims.  Only the shim definitions in
+# repro/config.py and the CLI's compatibility routing may reference
+# them; everything else must build ScenarioSpec dicts directly.
+hits=$(grep -rnE 'spec_from_legacy_(faults|chaos)_dict|looks_like_legacy_(faults|chaos)_dict' \
+    src examples benchmarks scripts 2>/dev/null |
+    grep -v 'src/repro/config.py' |
+    grep -v 'src/repro/cli.py' |
+    grep -v 'scripts/check_api_deprecations.sh' || true)
+if [ -n "$hits" ]; then
+    echo "Deprecated legacy --config shim usage found (use the ScenarioSpec shape):" >&2
     echo "$hits" >&2
     status=1
 fi

@@ -14,6 +14,11 @@ and writes ``BENCH_scale.json`` — the repo's perf trajectory artifact:
 3. **DRS round latency and a seeded regional simulation** — wall time of
    one DRS round over a populated scale-0.02 region, and of a multi-day
    end-to-end run (30 days in full mode).
+4. **Scenario-sweep throughput** — an 8-cell micro-grid executed through
+   the :mod:`repro.sweep` engine at 1 worker and at ``sweep_workers``
+   workers: scenarios/hour for both, the speedup ratio, and a
+   byte-identity check between the two merged reports.  The ratio tracks
+   available CPUs (recorded as ``sweep_cpu_count``).
 
 The frozen pre-PR baseline (measured on the same workloads at the commit
 before the performance overhaul) ships in :data:`PRE_PR_BASELINE`, so
@@ -71,6 +76,9 @@ class BenchConfig:
     seed: int = 1
     sim_seed: int = 7
     run_sim: bool = True
+    sweep_duration_days: float = 0.25
+    sweep_initial_vms: int = 40
+    sweep_workers: int = 4
 
     @classmethod
     def smoke(cls) -> "BenchConfig":
@@ -87,6 +95,9 @@ class BenchConfig:
             sim_days=1.0,
             sim_initial_vms=60,
             sim_arrival_rate_per_hour=4.0,
+            sweep_duration_days=0.05,
+            sweep_initial_vms=16,
+            sweep_workers=2,
         )
 
 
@@ -259,8 +270,57 @@ def bench_sim(config: BenchConfig) -> dict:
         "sim_placement_stats": result.placement.stats(),
     }
     if config.sim_days == 30.0:
+        # Deprecated alias of sim_wall_s, kept one release for external
+        # consumers of BENCH_scale.json; see the artifact's schema notes.
         out["sim_30day_wall_s"] = elapsed
     return out
+
+
+def _sweep_grid_doc(config: BenchConfig) -> dict:
+    """An 8-cell micro-grid (2 arrival rates x 4 seeds) for throughput."""
+    return {
+        "base": {
+            "duration_days": config.sweep_duration_days,
+            "building_blocks": 2,
+            "nodes_per_bb": 2,
+            "initial_vms": config.sweep_initial_vms,
+            "arrival_rate_per_hour": 6.0,
+        },
+        "seeds": [1, 2, 3, 4],
+        "axes": {"arrival_rate_per_hour": [6.0, 12.0]},
+    }
+
+
+def bench_sweep(config: BenchConfig) -> dict:
+    """Scenario-sweep throughput: 1 worker vs ``sweep_workers`` workers.
+
+    Also re-asserts the engine's determinism contract in passing: the
+    two runs must merge to byte-identical reports
+    (``sweep_reports_identical``).  Parallel speedup scales with the
+    CPUs actually available — ``sweep_cpu_count`` records them so a
+    1-core container's flat ratio is legible in the artifact.
+    """
+    from repro.reporting import canonical_bytes
+    from repro.sweep import grid_from_dict, run_sweep
+
+    grid = grid_from_dict(_sweep_grid_doc(config))
+    report_1w, stats_1w = run_sweep(grid, workers=1)
+    report_nw, stats_nw = run_sweep(grid, workers=config.sweep_workers)
+    return {
+        "sweep_cells": len(grid.cells),
+        "sweep_workers": config.sweep_workers,
+        "sweep_cpu_count": stats_nw.cpu_count,
+        "sweep_wall_1w_s": stats_1w.wall_s,
+        "sweep_wall_nw_s": stats_nw.wall_s,
+        "sweep_scenarios_per_hour_1w": stats_1w.scenarios_per_hour,
+        "sweep_scenarios_per_hour_nw": stats_nw.scenarios_per_hour,
+        "sweep_speedup_nw_vs_1w": stats_1w.wall_s / stats_nw.wall_s,
+        "sweep_reports_identical": (
+            canonical_bytes(report_1w) == canonical_bytes(report_nw)
+        ),
+        "sweep_failed_shards": len(report_1w.failures)
+        + len(report_nw.failures),
+    }
 
 
 def run_bench(config: BenchConfig | None = None, echo=None) -> dict:
@@ -281,6 +341,10 @@ def run_bench(config: BenchConfig | None = None, echo=None) -> dict:
     if config.run_sim:
         say(f"regional simulation: {config.sim_days:g} days ...")
         results.update(bench_sim(config))
+    say(
+        f"scenario sweep: 8 cells at 1 vs {config.sweep_workers} worker(s) ..."
+    )
+    results.update(bench_sweep(config))
     results["peak_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     for key in ("schedule_requests_per_s", "telemetry_ingest_samples_per_s"):
         baseline = PRE_PR_BASELINE[key]
@@ -291,6 +355,14 @@ def run_bench(config: BenchConfig | None = None, echo=None) -> dict:
         "bench": "scale",
         "config": asdict(config),
         "baseline_pre_pr": dict(PRE_PR_BASELINE),
+        "schema": {
+            "deprecated": {
+                "results.sim_30day_wall_s": (
+                    "alias of results.sim_wall_s (emitted only while "
+                    "sim_days == 30); consumers should read sim_wall_s"
+                ),
+            },
+        },
         "results": results,
     }
 
@@ -322,6 +394,12 @@ def check_results(payload: dict) -> list[str]:
             problems.append(f"missing or non-finite result key: {key}")
     if not results.get("placements_identical", False):
         problems.append("indexed and legacy scheduling paths placed differently")
+    if not results.get("sweep_reports_identical", True):
+        problems.append("sweep reports differ between 1 and N workers")
+    if results.get("sweep_failed_shards", 0):
+        problems.append(
+            f"sweep bench had {results['sweep_failed_shards']} failed shards"
+        )
     for key, minimum in CHECK_BOUNDS:
         value = results.get(key, 0.0)
         if not (value >= minimum):

@@ -39,6 +39,15 @@ Subcommands::
         prove the damage is detected with named offsets.  Exits non-zero
         on any divergence or undetected corruption.
 
+    repro sweep --config GRID.json [--workers N] [--journal FILE]
+                [--out FILE]
+        Shard a scenario grid (base ScenarioSpec x axes x seeds) across
+        worker processes and merge the shard records into one
+        deterministic SweepReport — byte-identical at any --workers.
+        Crashed or hung shards are retried once, then recorded as
+        structured failures; with --journal an interrupted sweep resumes
+        without re-running completed cells.
+
     repro bench [--smoke] [--check] [--out BENCH_scale.json]
         Time the scheduling, telemetry-ingest, and simulation hot paths on
         seeded workloads and write the perf artifact.
@@ -228,30 +237,52 @@ def _load_config_file(path: str, what: str) -> dict:
     return data
 
 
-def _cmd_faults(args: argparse.Namespace) -> int:
-    from repro.faults import FaultConfig
-    from repro.faults.scenario import ScenarioConfig, run_fault_scenario
+def _scenario_spec_from_config(
+    data: dict, base, what: str, path: str
+):
+    """Resolve a ``--config`` dict into a ScenarioSpec over ``base``.
 
-    if args.config:
-        data = _load_config_file(args.config, "faults")
-        data.setdefault(
-            "seed", args.fault_seed if args.fault_seed is not None else args.seed
-        )
-        try:
-            faults = FaultConfig.from_dict(data)
-        except ValueError as exc:
-            raise _config_error(f"repro: faults config {args.config}: {exc}")
-    else:
-        faults = FaultConfig(
-            seed=args.fault_seed if args.fault_seed is not None else args.seed,
-            host_failure_rate_per_day=args.failure_rate,
-            repair_time_mean_s=args.repair_hours * 3600.0,
-            migration_abort_fraction=args.abort_fraction,
-            scrape_gap_probability=args.gap_probability,
-            stale_node_probability=args.stale_probability,
-            evac_max_retries=args.evac_retries,
-        )
-    config = ScenarioConfig(
+    Canonical ScenarioSpec-shaped files overlay the flag-derived base
+    spec (file keys win); the two legacy per-CLI shapes route through
+    their deprecated shims.  Every validation failure exits 2 with the
+    offending key named.
+    """
+    from repro.config import (
+        ScenarioSpec,
+        looks_like_legacy_chaos_dict,
+        looks_like_legacy_faults_dict,
+        spec_from_legacy_chaos_dict,
+        spec_from_legacy_faults_dict,
+    )
+
+    try:
+        if what == "faults" and looks_like_legacy_faults_dict(data):
+            return spec_from_legacy_faults_dict(data, base)
+        if what == "chaos" and looks_like_legacy_chaos_dict(data):
+            return spec_from_legacy_chaos_dict(data, base)
+        doc = base.to_dict()
+        doc.update(data)
+        return ScenarioSpec.from_dict(doc)
+    except ValueError as exc:
+        raise _config_error(f"repro: {what} config {path}: {exc}") from exc
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.config import ScenarioSpec
+    from repro.faults import FaultConfig
+    from repro.reporting import write_report
+
+    faults = FaultConfig(
+        seed=args.fault_seed if args.fault_seed is not None else args.seed,
+        host_failure_rate_per_day=args.failure_rate,
+        repair_time_mean_s=args.repair_hours * 3600.0,
+        migration_abort_fraction=args.abort_fraction,
+        scrape_gap_probability=args.gap_probability,
+        stale_node_probability=args.stale_probability,
+        evac_max_retries=args.evac_retries,
+    )
+    spec = ScenarioSpec(
+        topology="lab",
         building_blocks=args.bbs,
         nodes_per_bb=args.nodes_per_bb,
         duration_days=args.days,
@@ -260,26 +291,43 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         initial_vms=args.initial_vms,
         faults=faults,
     )
+    if args.config:
+        from repro.config import looks_like_legacy_faults_dict
+
+        data = _load_config_file(args.config, "faults")
+        if looks_like_legacy_faults_dict(data):
+            # Legacy flat shape: the injector seed historically defaulted
+            # to the --fault-seed / --seed flags, not FaultConfig's own.
+            data.setdefault(
+                "seed",
+                args.fault_seed if args.fault_seed is not None else args.seed,
+            )
+        spec = _scenario_spec_from_config(data, spec, "faults", args.config)
     print(
-        f"Running fault scenario: {args.bbs} BBs x {args.nodes_per_bb} nodes, "
-        f"{args.days} days, seed {args.seed} ...",
+        f"Running fault scenario: {spec.building_blocks} BBs x "
+        f"{spec.nodes_per_bb} nodes, {spec.duration_days} days, "
+        f"seed {spec.seed} ...",
         file=sys.stderr,
     )
     try:
-        result = run_fault_scenario(config)
+        result = spec.run()
     except KeyboardInterrupt:
         return _interrupted(
             "faults",
-            f"the {args.days}-day scenario (seed {args.seed})",
+            f"the {spec.duration_days}-day scenario (seed {spec.seed})",
         )
     report = result.fault_report
+    if report is None:
+        raise _config_error(
+            f"repro: faults config {args.config}: no fault section in "
+            "effect; nothing to report"
+        )
     print(report.render(), file=sys.stderr)
-    payload = report.to_json()
     if args.out:
-        Path(args.out).write_text(payload + "\n")
+        write_report(report, args.out)
         print(f"Wrote {args.out}", file=sys.stderr)
     else:
-        print(payload)
+        print(report.to_json())
     if report.dead_letters:
         # Unrecovered VMs are an operator-facing failure: summarise them
         # and exit non-zero so scripts and CI notice.
@@ -307,51 +355,39 @@ def _dead_letter_table(report) -> str:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
+    from repro.config import ScenarioSpec
+    from repro.reporting import write_report
     from repro.resilience.chaos import (
-        ChaosConfig,
-        chaos_summary_json,
+        ChaosSummary,
         default_chaos_faults,
         default_chaos_resilience,
-        run_chaos_scenario,
     )
-
-    from repro.faults import FaultConfig
-    from repro.resilience.config import ResilienceConfig
 
     faults = (
         default_chaos_faults(args.fault_seed)
         if args.fault_seed is not None
         else default_chaos_faults()
     )
-    resilience = default_chaos_resilience()
-    if args.config:
-        data = _load_config_file(args.config, "chaos")
-        unknown = sorted(set(data) - {"faults", "resilience"})
-        if unknown:
-            raise _config_error(
-                f"repro: chaos config {args.config}: unknown sections "
-                f"{', '.join(unknown)} (known: faults, resilience)"
-            )
-        try:
-            if "faults" in data:
-                faults = FaultConfig.from_dict(data["faults"])
-            if "resilience" in data:
-                resilience = ResilienceConfig.from_dict(data["resilience"])
-        except ValueError as exc:
-            raise _config_error(f"repro: chaos config {args.config}: {exc}")
-    if args.no_fail_fast:
-        resilience = replace(resilience, fail_fast=False)
-    config = ChaosConfig(
+    spec = ScenarioSpec(
+        topology="chaos",
         duration_days=args.days,
         seed=args.seed,
+        initial_vms=80,
         faults=faults,
-        resilience=resilience,
+        resilience=default_chaos_resilience(),
     )
+    if args.config:
+        data = _load_config_file(args.config, "chaos")
+        spec = _scenario_spec_from_config(data, spec, "chaos", args.config)
+    if args.no_fail_fast and spec.resilience is not None:
+        spec = replace(
+            spec, resilience=replace(spec.resilience, fail_fast=False)
+        )
     if not args.json_only:
         print(
-            f"Running chaos scenario: 2 AZs x {config.building_blocks_per_az} "
-            f"BBs x {config.nodes_per_bb} nodes, {args.days} days, "
-            f"seed {args.seed} ...",
+            f"Running chaos scenario: 2 AZs x {spec.building_blocks_per_az} "
+            f"BBs x {spec.nodes_per_bb} nodes, {spec.duration_days} days, "
+            f"seed {spec.seed} ...",
             file=sys.stderr,
         )
     journal_writer = None
@@ -362,11 +398,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         journal_writer = JournalWriter(args.journal)
         journal_sink = journal_writer.append
     try:
-        result = run_chaos_scenario(config, journal=journal_sink)
+        result = spec.run(journal=journal_sink)
     except KeyboardInterrupt:
         return _interrupted(
             "chaos",
-            f"the {args.days}-day scenario (seed {args.seed})",
+            f"the {spec.duration_days}-day scenario (seed {spec.seed})",
         )
     finally:
         if journal_writer is not None:
@@ -378,16 +414,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     report = result.resilience_report
+    if report is None or result.fault_report is None:
+        raise _config_error(
+            f"repro: chaos config {args.config}: the chaos scenario needs "
+            "both a faults and a resilience section in effect"
+        )
+    summary = ChaosSummary(result)
     if not args.json_only:
-        print(report.render(), file=sys.stderr)
-        print(result.fault_report.render(), file=sys.stderr)
-    payload = chaos_summary_json(result)
+        print(summary.render(), file=sys.stderr)
     if args.out:
-        Path(args.out).write_text(payload + "\n")
+        write_report(summary, args.out)
         if not args.json_only:
             print(f"Wrote {args.out}", file=sys.stderr)
     else:
-        print(payload)
+        print(summary.canonical_json(), end="")
     return 1 if report.violations else 0
 
 
@@ -419,6 +459,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             f"simulation: {results['sim_days']:g} days in "
             f"{results['sim_wall_s']:.1f} s ({results['sim_events']} events)"
+        )
+    if "sweep_scenarios_per_hour_nw" in results:
+        print(
+            f"sweep:    {results['sweep_cells']} cells — "
+            f"{results['sweep_scenarios_per_hour_1w']:,.0f} scenarios/h at "
+            f"1 worker, {results['sweep_scenarios_per_hour_nw']:,.0f} at "
+            f"{results['sweep_workers']} workers "
+            f"({results['sweep_speedup_nw_vs_1w']:.2f}x on "
+            f"{results['sweep_cpu_count']} CPU(s))"
         )
     print(f"peak RSS: {results['peak_rss_kb']:,} KB")
     print(f"Wrote {args.out}")
@@ -465,13 +514,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         return _interrupted("verify", stage.last)
     if not args.json_only:
         print(report.render(), file=sys.stderr)
-    payload = report.to_json()
     if args.out:
-        Path(args.out).write_text(payload)
+        from repro.reporting import write_report
+
+        write_report(report, args.out)
         if not args.json_only:
             print(f"Wrote {args.out}", file=sys.stderr)
     else:
-        print(payload, end="")
+        print(report.canonical_json(), end="")
     return 0 if report.ok else 1
 
 
@@ -534,13 +584,73 @@ def _cmd_crash(args: argparse.Namespace) -> int:
         return _interrupted("crash", stage.last)
     if not args.json_only:
         print(report.render(), file=sys.stderr)
-    payload = report.to_json() + "\n"
     if args.out:
-        Path(args.out).write_text(payload)
+        from repro.reporting import write_report
+
+        write_report(report, args.out)
         if not args.json_only:
             print(f"Wrote {args.out}", file=sys.stderr)
     else:
-        print(payload, end="")
+        print(report.canonical_json(), end="")
+    return 0 if report.ok else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.reporting import write_report
+    from repro.sweep import SweepResumeError, grid_from_dict, run_sweep
+
+    data = _load_config_file(args.config, "sweep")
+    try:
+        grid = grid_from_dict(data)
+    except ValueError as exc:
+        raise _config_error(f"repro: sweep config {args.config}: {exc}")
+    if args.workers < 1:
+        raise _config_error("repro: --workers must be >= 1")
+    if args.deadline <= 0:
+        raise _config_error("repro: --deadline must be positive")
+    stage = _ProgressTracker("starting up")
+
+    def progress(message: str) -> None:
+        stage(message)
+        if not args.json_only:
+            print(f"  {message}", file=sys.stderr)
+
+    if not args.json_only:
+        print(
+            f"Running sweep: {len(grid.cells)} cells "
+            f"({len(grid.groups)} groups) with {args.workers} worker(s) ...",
+            file=sys.stderr,
+        )
+    try:
+        report, stats = run_sweep(
+            grid,
+            workers=args.workers,
+            deadline_s=args.deadline,
+            journal_path=args.journal,
+            progress=progress,
+        )
+    except SweepResumeError as exc:
+        raise _config_error(f"repro: sweep: {exc}")
+    except KeyboardInterrupt:
+        kept = (
+            f"completed shards kept in {args.journal}"
+            if args.journal
+            else "partial results discarded (use --journal to keep them)"
+        )
+        print(
+            f"repro sweep: interrupted during {stage.last}; {kept}",
+            file=sys.stderr,
+        )
+        return 130
+    if not args.json_only:
+        print(report.render(), file=sys.stderr)
+        print(stats.render(), file=sys.stderr)
+    if args.out:
+        write_report(report, args.out)
+        if not args.json_only:
+            print(f"Wrote {args.out}", file=sys.stderr)
+    else:
+        print(report.canonical_json(), end="")
     return 0 if report.ok else 1
 
 
@@ -725,6 +835,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crash.add_argument("--out", default=None, help="write report JSON here")
     crash.set_defaults(func=_cmd_crash)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a scenario grid across worker processes and merge a "
+        "deterministic report (workers=1 and workers=N are byte-identical)",
+    )
+    sweep.add_argument(
+        "--config", required=True, metavar="FILE",
+        help='grid JSON: {"base": ScenarioSpec object, "seeds": [..], '
+        '"axes": {field: [values, ...]}}',
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="concurrent worker processes (one shard each)",
+    )
+    sweep.add_argument(
+        "--deadline", type=float, default=300.0, metavar="SECONDS",
+        help="per-shard wall-clock ceiling before the worker is killed "
+        "and retried once (default mirrors the test-suite timeout)",
+    )
+    sweep.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="journal completed shards to this write-ahead file; "
+        "re-running with the same grid resumes, skipping finished cells",
+    )
+    sweep.add_argument(
+        "--json-only", action="store_true",
+        help="suppress stderr progress/summary; print only the JSON report",
+    )
+    sweep.add_argument("--out", default=None, help="write report JSON here")
+    sweep.set_defaults(func=_cmd_sweep)
 
     query = sub.add_parser("query", help="evaluate a telemetry query")
     query.add_argument("dataset", help="dataset archive directory")

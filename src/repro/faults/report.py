@@ -12,6 +12,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from repro.reporting import ReportBase
+
 
 @dataclass(frozen=True)
 class DeadLetter:
@@ -34,7 +36,7 @@ class DeadLetter:
 
 
 @dataclass
-class FaultReport:
+class FaultReport(ReportBase):
     """Aggregated outcome of one fault-injection scenario."""
 
     seed: int = 0

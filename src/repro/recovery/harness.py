@@ -32,6 +32,7 @@ from repro.faults.crashpoints import (
     corrupt_journal,
 )
 from repro.recovery.journal import JournalCorruption
+from repro.reporting import ReportBase
 from repro.recovery.run import (
     CRASH_POINTS,
     DEFAULT_SNAPSHOT_EVERY,
@@ -114,7 +115,7 @@ class CorruptionCase:
 
 
 @dataclass
-class CrashReport:
+class CrashReport(ReportBase):
     """Everything one ``repro crash`` invocation proved (or failed to)."""
 
     scenario: str

@@ -25,6 +25,7 @@ from repro.infrastructure.topology import (
     DatacenterSpec,
     TopologySpec,
 )
+from repro.reporting import ReportBase
 from repro.resilience.config import ResilienceConfig
 from repro.simulation.runner import (
     RegionSimulation,
@@ -153,6 +154,27 @@ def chaos_summary(result: SimulationResult) -> dict:
         "deleted": result.deleted,
         "rejected": result.rejected,
     }
+
+
+@dataclass
+class ChaosSummary(ReportBase):
+    """The chaos digest as a first-class :mod:`repro.reporting` report.
+
+    Wraps one finished run so the chaos CLI's ``--out`` path flows
+    through the same byte-stable writer as every other artifact.
+    """
+
+    result: SimulationResult
+
+    def to_dict(self) -> dict:
+        return chaos_summary(self.result)
+
+    def render(self) -> str:
+        return (
+            self.result.resilience_report.render()
+            + "\n"
+            + self.result.fault_report.render()
+        )
 
 
 def chaos_summary_json(result: SimulationResult, indent: int | None = 2) -> str:

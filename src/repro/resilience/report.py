@@ -11,6 +11,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from repro.reporting import ReportBase
+
 
 @dataclass(frozen=True)
 class InvariantViolation:
@@ -44,7 +46,7 @@ class InvariantViolationError(AssertionError):
 
 
 @dataclass
-class ResilienceReport:
+class ResilienceReport(ReportBase):
     """Aggregated outcome of the resilience layer over one run."""
 
     seed: int = 0

@@ -1,0 +1,43 @@
+"""Sharded scenario-sweep engine: grid fan-out across worker processes.
+
+Public surface::
+
+    from repro.sweep import (
+        grid_from_dict, run_sweep, run_sweep_inline, SweepReport,
+    )
+
+See :mod:`repro.sweep.engine` for the execution model and the
+byte-determinism contract (``--workers 1`` ≡ ``--workers N``).
+"""
+
+from repro.sweep.engine import (
+    DEFAULT_DEADLINE_S,
+    SweepResumeError,
+    load_resume,
+    run_sweep,
+    run_sweep_inline,
+)
+from repro.sweep.grid import SweepCell, SweepGrid, grid_from_dict
+from repro.sweep.report import (
+    ShardFailure,
+    SweepReport,
+    SweepRunStats,
+    aggregate_cells,
+    merge_records,
+)
+
+__all__ = [
+    "DEFAULT_DEADLINE_S",
+    "ShardFailure",
+    "SweepCell",
+    "SweepGrid",
+    "SweepReport",
+    "SweepResumeError",
+    "SweepRunStats",
+    "aggregate_cells",
+    "grid_from_dict",
+    "load_resume",
+    "merge_records",
+    "run_sweep",
+    "run_sweep_inline",
+]

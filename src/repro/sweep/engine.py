@@ -1,0 +1,324 @@
+"""The sweep engine: shard a grid across worker processes, merge, resume.
+
+Execution model — **process per shard**:
+
+- up to ``workers`` child processes run concurrently, each executing one
+  grid cell via :func:`repro.sweep.worker.shard_main` and shipping its
+  cell record back over a pipe;
+- the parent enforces a per-shard wall-clock **deadline** (defaulting to
+  the same 300 s ceiling the test suite's pytest-timeout uses): an
+  overdue shard is terminated, then killed;
+- a shard that *crashes or hangs* is retried once, then recorded as a
+  structured :class:`~repro.sweep.report.ShardFailure`; a shard that
+  fails with a Python exception is deterministic and recorded
+  immediately without retry;
+- every completed cell record is journaled (CRC32-framed WAL from
+  :mod:`repro.recovery.journal`) the moment it arrives, so an
+  interrupted sweep resumed with the same ``--journal`` path re-runs
+  only the missing cells.  The journal's header record pins the grid
+  hash — resuming against an edited grid is refused, not guessed at.
+
+Determinism: cell records are pure functions of their specs, the merge
+sorts by cell id, and all timing lives in
+:class:`~repro.sweep.report.SweepRunStats` — so the report bytes are
+identical for ``--workers 1`` and ``--workers N``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.recovery.journal import (
+    JournalCorruption,
+    JournalWriter,
+    read_journal,
+    truncate_torn_tail,
+)
+from repro.sweep.grid import SweepCell, SweepGrid
+from repro.sweep.report import (
+    ShardFailure,
+    SweepReport,
+    SweepRunStats,
+    merge_records,
+)
+from repro.sweep.worker import run_cell, shard_main
+
+#: Per-shard wall-clock ceiling; mirrors the suite-wide pytest timeout.
+DEFAULT_DEADLINE_S = 300.0
+
+#: Journal record types.
+_HEADER_TYPE = "sweep-header"
+_CELL_TYPE = "cell"
+
+#: Idle poll interval while shards run.
+_POLL_S = 0.02
+
+
+class SweepResumeError(ValueError):
+    """The journal at ``--journal`` cannot seed this sweep."""
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+@dataclass
+class _ActiveShard:
+    cell: SweepCell
+    proc: object
+    conn: object
+    deadline: float
+
+
+def _spawn(ctx, cell: SweepCell, deadline_s: float) -> _ActiveShard:
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=shard_main,
+        args=(
+            child_conn,
+            cell.cell_id,
+            cell.group,
+            cell.spec.to_dict(),
+            cell.overrides,
+        ),
+        daemon=True,
+    )
+    proc.start()
+    child_conn.close()
+    return _ActiveShard(
+        cell=cell,
+        proc=proc,
+        conn=parent_conn,
+        deadline=time.monotonic() + deadline_s,
+    )
+
+
+def _kill(shard: _ActiveShard) -> None:
+    if shard.proc.is_alive():
+        shard.proc.terminate()
+        shard.proc.join(5.0)
+        if shard.proc.is_alive():
+            shard.proc.kill()
+            shard.proc.join(5.0)
+    try:
+        shard.conn.close()
+    except OSError:
+        pass
+
+
+def _poll(shard: _ActiveShard, deadline_s: float):
+    """One look at a running shard.
+
+    Returns ``None`` while it is still working, else one of
+    ``("ok", record)``, ``("error", msg)``, ``("crashed", msg)``,
+    ``("deadline", msg)``.
+    """
+    if shard.conn.poll():
+        try:
+            kind, payload = shard.conn.recv()
+        except (EOFError, OSError):
+            kind, payload = None, None
+        if kind is not None:
+            shard.proc.join()
+            shard.conn.close()
+            return kind, payload
+        # Pipe closed without a message: the child died mid-cell.
+        _kill(shard)
+        return "crashed", f"worker exited with code {shard.proc.exitcode}"
+    if not shard.proc.is_alive():
+        shard.proc.join()
+        exitcode = shard.proc.exitcode
+        try:
+            shard.conn.close()
+        except OSError:
+            pass
+        return "crashed", f"worker exited with code {exitcode}"
+    if time.monotonic() >= shard.deadline:
+        _kill(shard)
+        return "deadline", f"shard deadline exceeded ({deadline_s:g}s)"
+    return None
+
+
+def load_resume(
+    journal_path: str | Path, grid: SweepGrid
+) -> dict[str, dict]:
+    """Completed cell records a prior run journaled for this exact grid.
+
+    Returns ``{}`` when the journal is missing or empty.  A torn tail
+    (crash during the last append) is truncated and the intact prefix
+    used; interior corruption or a different grid hash is refused.
+    """
+    path = Path(journal_path)
+    if not path.exists() or path.stat().st_size == 0:
+        return {}
+    try:
+        scan = read_journal(path)
+    except JournalCorruption as exc:
+        raise SweepResumeError(
+            f"sweep journal {path} is corrupt: {exc}"
+        ) from exc
+    if scan.torn:
+        truncate_torn_tail(path, scan)
+    if not scan.records:
+        return {}
+    _, header = scan.records[0]
+    if header.get("type") != _HEADER_TYPE:
+        raise SweepResumeError(
+            f"sweep journal {path} has no sweep header record"
+        )
+    if header.get("grid_sha256") != grid.sha256:
+        raise SweepResumeError(
+            f"sweep journal {path} was written for grid "
+            f"{str(header.get('grid_sha256'))[:12]}..., not this grid "
+            f"({grid.sha256[:12]}...); use a fresh --journal path"
+        )
+    valid_shas = {cell.cell_id: cell.sha256() for cell in grid.cells}
+    completed: dict[str, dict] = {}
+    for _, record in scan.records[1:]:
+        if record.get("type") != _CELL_TYPE:
+            continue
+        cell = record.get("record", {})
+        cell_id = cell.get("cell_id")
+        if valid_shas.get(cell_id) == cell.get("spec_sha256"):
+            completed[cell_id] = cell
+    return completed
+
+
+def run_sweep(
+    grid: SweepGrid,
+    *,
+    workers: int = 1,
+    deadline_s: float = DEFAULT_DEADLINE_S,
+    journal_path: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> tuple[SweepReport, SweepRunStats]:
+    """Execute every cell of ``grid``; returns (report, run stats).
+
+    Never raises on shard failure — failed shards become structured
+    entries in the report.  Raises :class:`SweepResumeError` when
+    ``journal_path`` holds an incompatible journal.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if deadline_s <= 0:
+        raise ValueError("deadline_s must be positive")
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    completed: dict[str, dict] = {}
+    journal: JournalWriter | None = None
+    if journal_path is not None:
+        completed = load_resume(journal_path, grid)
+        journal = JournalWriter(journal_path)
+        if not completed and journal.path.stat().st_size <= 8:
+            journal.append(
+                {"type": _HEADER_TYPE, "format": 1, "grid_sha256": grid.sha256}
+            )
+    resumed = len(completed)
+    if resumed:
+        say(f"resuming: {resumed}/{len(grid.cells)} cells already journaled")
+
+    t0 = time.monotonic()
+    ctx = _mp_context()
+    pending: deque[SweepCell] = deque(
+        cell for cell in grid.cells if cell.cell_id not in completed
+    )
+    attempts: dict[str, int] = {}
+    active: dict[str, _ActiveShard] = {}
+    failures: dict[str, ShardFailure] = {}
+    retries = 0
+    try:
+        while pending or active:
+            while pending and len(active) < workers:
+                cell = pending.popleft()
+                attempts[cell.cell_id] = attempts.get(cell.cell_id, 0) + 1
+                active[cell.cell_id] = _spawn(ctx, cell, deadline_s)
+                say(
+                    f"start {cell.cell_id}"
+                    + (
+                        f" (attempt {attempts[cell.cell_id]})"
+                        if attempts[cell.cell_id] > 1
+                        else ""
+                    )
+                )
+            settled = False
+            for cell_id, shard in list(active.items()):
+                outcome = _poll(shard, deadline_s)
+                if outcome is None:
+                    continue
+                settled = True
+                del active[cell_id]
+                kind, payload = outcome
+                if kind == "ok":
+                    completed[cell_id] = payload
+                    if journal is not None:
+                        journal.append({"type": _CELL_TYPE, "record": payload})
+                    say(f"done  {cell_id}")
+                elif kind == "error":
+                    # Deterministic in-cell exception: retry would repeat it.
+                    failures[cell_id] = ShardFailure(
+                        cell_id=cell_id,
+                        reason=payload,
+                        attempts=attempts[cell_id],
+                    )
+                    say(f"fail  {cell_id}: {payload}")
+                else:  # crashed | deadline — nondeterministic, retry once
+                    if attempts[cell_id] < 2:
+                        retries += 1
+                        pending.appendleft(shard.cell)
+                        say(f"retry {cell_id}: {payload}")
+                    else:
+                        failures[cell_id] = ShardFailure(
+                            cell_id=cell_id,
+                            reason=payload,
+                            attempts=attempts[cell_id],
+                        )
+                        say(f"fail  {cell_id}: {payload}")
+            if not settled and active:
+                time.sleep(_POLL_S)
+    finally:
+        for shard in active.values():
+            _kill(shard)
+        if journal is not None:
+            journal.close()
+    wall = time.monotonic() - t0
+
+    report = merge_records(
+        grid.sha256, list(completed.values()), list(failures.values())
+    )
+    stats = SweepRunStats(
+        workers=workers,
+        cpu_count=os.cpu_count() or 1,
+        wall_s=wall,
+        cells_total=len(grid.cells),
+        cells_run=len(completed) - resumed,
+        cells_resumed=resumed,
+        cells_failed=len(failures),
+        retries=retries,
+    )
+    return report, stats
+
+
+def run_sweep_inline(grid: SweepGrid) -> SweepReport:
+    """Sequential in-process reference execution of a grid.
+
+    The determinism oracle: the ``sweep`` verify check compares the
+    multiprocess engine's canonical bytes against this — any divergence
+    means shard isolation leaked into the results.
+    """
+    records = [
+        run_cell(cell.cell_id, cell.group, cell.spec.to_dict(), cell.overrides)
+        for cell in grid.cells
+    ]
+    return merge_records(grid.sha256, records, [])

@@ -1,0 +1,167 @@
+"""Sweep grids: a base ScenarioSpec fanned out over axes × seeds.
+
+A grid config is a JSON object with three optional keys::
+
+    {
+      "base":  { ... ScenarioSpec shape ... },
+      "seeds": [1, 2, 3],
+      "axes":  {
+        "arrival_rate_per_hour": [6.0, 12.0],
+        "faults": [null, {"seed": 24, "host_failure_rate_per_day": 2.0}]
+      }
+    }
+
+Every combination of axis values (axes iterated in sorted name order,
+values in file order) crossed with every seed yields one
+:class:`SweepCell`.  Axis values overlay the base dict; when both the
+base value and the override are objects they shallow-merge, so an axis
+can vary one fault knob while the base pins the rest.  Each cell's spec
+goes through :meth:`ScenarioSpec.from_dict`, so a typo anywhere in the
+grid fails fast with the key named.
+
+The grid's identity is :attr:`SweepGrid.sha256` — a hash over every
+(cell id, spec hash) pair.  The sweep journal stores it so a resumed
+run refuses a journal written for a different grid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+
+from repro.config import ScenarioSpec
+
+#: Top-level grid config keys.
+_GRID_KEYS = ("axes", "base", "seeds")
+
+
+def _fmt_value(value: object) -> str:
+    """Deterministic single-token rendering of an axis value for cell ids."""
+    if isinstance(value, str):
+        return value
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One runnable point of the grid."""
+
+    #: Unique id, e.g. ``arrival_rate_per_hour=6.0/seed=1``; merge order.
+    cell_id: str
+    #: The cell id minus the seed axis — the aggregation group.
+    group: str
+    spec: ScenarioSpec
+    #: The axis assignments that produced this cell (no seed).
+    overrides: dict
+
+    def sha256(self) -> str:
+        return self.spec.sha256()
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A validated, fully expanded grid."""
+
+    cells: tuple[SweepCell, ...]
+    sha256: str
+
+    @property
+    def groups(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for cell in self.cells:
+            seen.setdefault(cell.group, None)
+        return list(seen)
+
+
+def _merge_override(base: dict, key: str, value: object) -> None:
+    """Overlay one axis assignment; objects shallow-merge, else replace."""
+    if (
+        isinstance(value, dict)
+        and isinstance(base.get(key), dict)
+    ):
+        merged = dict(base[key])
+        merged.update(value)
+        base[key] = merged
+    elif value is None:
+        base.pop(key, None)
+    else:
+        base[key] = value
+
+
+def grid_from_dict(data: object) -> SweepGrid:
+    """Expand a grid config into cells; ``ValueError`` on any problem."""
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"grid config must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - set(_GRID_KEYS))
+    if unknown:
+        raise ValueError(
+            f"unknown grid config keys: {', '.join(unknown)} "
+            f"(known: {', '.join(_GRID_KEYS)})"
+        )
+    base = data.get("base", {})
+    if not isinstance(base, dict):
+        raise ValueError("grid 'base' must be a JSON object")
+    axes = data.get("axes", {})
+    if not isinstance(axes, dict):
+        raise ValueError("grid 'axes' must be a JSON object")
+    for name, values in axes.items():
+        if not isinstance(values, list) or not values and values != [None]:
+            raise ValueError(f"axis {name!r} must be a non-empty JSON array")
+        if not values:
+            raise ValueError(f"axis {name!r} must be a non-empty JSON array")
+    seeds = data.get("seeds", None)
+    if seeds is None:
+        seeds = [base.get("seed", ScenarioSpec().seed)]
+    if (
+        not isinstance(seeds, list)
+        or not seeds
+        or not all(isinstance(s, int) and not isinstance(s, bool) for s in seeds)
+    ):
+        raise ValueError("grid 'seeds' must be a non-empty array of integers")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("grid 'seeds' contains duplicates")
+
+    axis_names = sorted(axes)
+    cells: list[SweepCell] = []
+    seen_ids: set[str] = set()
+    for combo in itertools.product(*(axes[name] for name in axis_names)):
+        overrides = dict(zip(axis_names, combo))
+        group = "/".join(
+            f"{name}={_fmt_value(value)}" for name, value in overrides.items()
+        )
+        for seed in seeds:
+            doc = dict(base)
+            for name, value in overrides.items():
+                _merge_override(doc, name, value)
+            doc["seed"] = seed
+            cell_id = f"{group}/seed={seed}" if group else f"seed={seed}"
+            if cell_id in seen_ids:
+                raise ValueError(f"duplicate grid cell: {cell_id}")
+            seen_ids.add(cell_id)
+            try:
+                spec = ScenarioSpec.from_dict(doc)
+            except ValueError as exc:
+                raise ValueError(f"grid cell {cell_id}: {exc}") from exc
+            cells.append(
+                SweepCell(
+                    cell_id=cell_id,
+                    group=group or "(base)",
+                    spec=spec,
+                    overrides=overrides,
+                )
+            )
+    if not cells:
+        raise ValueError("grid expands to zero cells")
+    identity = json.dumps(
+        [[cell.cell_id, cell.sha256()] for cell in cells],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return SweepGrid(
+        cells=tuple(cells),
+        sha256=hashlib.sha256(identity.encode("utf-8")).hexdigest(),
+    )

@@ -1,0 +1,197 @@
+"""SweepReport: the order-independent merge of shard results.
+
+The report is a pure function of the *set* of cell records plus the set
+of shard failures: :func:`merge_records` sorts both by cell id, and the
+records themselves carry no timing or host data, so ``--workers 1`` and
+``--workers N`` produce byte-identical artifacts (the ``sweep`` verify
+check holds this line).  Wall-clock and throughput live in
+:class:`SweepRunStats`, which is printed but never merged into the
+report bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.reporting import ReportBase
+
+#: Quantiles reported per metric across the seeds of one group.
+_QUANTILES = (("p50", 0.5), ("p90", 0.9))
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One cell that did not produce a record (after any retry)."""
+
+    cell_id: str
+    reason: str
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "cell_id": self.cell_id,
+            "reason": self.reason,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass(frozen=True)
+class SweepRunStats:
+    """How one engine run went — deliberately *outside* the report bytes."""
+
+    workers: int
+    cpu_count: int
+    wall_s: float
+    cells_total: int
+    cells_run: int
+    cells_resumed: int
+    cells_failed: int
+    retries: int
+
+    @property
+    def scenarios_per_hour(self) -> float:
+        if self.wall_s <= 0 or self.cells_run == 0:
+            return 0.0
+        return self.cells_run / self.wall_s * 3600.0
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "cpu_count": self.cpu_count,
+            "wall_s": round(self.wall_s, 3),
+            "cells_total": self.cells_total,
+            "cells_run": self.cells_run,
+            "cells_resumed": self.cells_resumed,
+            "cells_failed": self.cells_failed,
+            "retries": self.retries,
+            "scenarios_per_hour": round(self.scenarios_per_hour, 3),
+        }
+
+    def render(self) -> str:
+        return (
+            f"ran {self.cells_run}/{self.cells_total} cells "
+            f"({self.cells_resumed} resumed, {self.cells_failed} failed, "
+            f"{self.retries} retries) with {self.workers} worker(s) on "
+            f"{self.cpu_count} CPU(s) in {self.wall_s:.2f}s "
+            f"= {self.scenarios_per_hour:.1f} scenarios/hour"
+        )
+
+
+def _flatten_numeric(doc: dict, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a stats dict as dotted names (bools excluded)."""
+    out: dict[str, float] = {}
+    for key in sorted(doc):
+        value = doc[key]
+        name = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[name] = value
+        elif isinstance(value, dict):
+            out.update(_flatten_numeric(value, f"{name}."))
+    return out
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an already sorted list."""
+    n = len(sorted_values)
+    if n == 1:
+        return float(sorted_values[0])
+    pos = q * (n - 1)
+    lo = int(pos)
+    frac = pos - lo
+    if lo + 1 >= n:
+        return float(sorted_values[-1])
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[lo + 1] * frac
+
+
+def _round(value: float) -> float:
+    return round(float(value), 6)
+
+
+def aggregate_cells(cells: list[dict]) -> dict:
+    """Per-group quantiles across seeds for every numeric stat."""
+    groups: dict[str, list[dict]] = {}
+    for record in cells:
+        groups.setdefault(record["group"], []).append(record)
+    out: dict = {}
+    for group in sorted(groups):
+        records = groups[group]
+        metrics: dict[str, list[float]] = {}
+        for record in records:
+            for name, value in _flatten_numeric(record["stats"]).items():
+                metrics.setdefault(name, []).append(float(value))
+        summary: dict = {}
+        for name in sorted(metrics):
+            values = sorted(metrics[name])
+            entry = {"min": _round(values[0]), "max": _round(values[-1])}
+            for label, q in _QUANTILES:
+                entry[label] = _round(_quantile(values, q))
+            summary[name] = entry
+        out[group] = {
+            "seeds": sorted(r["seed"] for r in records),
+            "cells": len(records),
+            "metrics": summary,
+        }
+    return out
+
+
+@dataclass
+class SweepReport(ReportBase):
+    """Everything one sweep produced, in canonical order."""
+
+    grid_sha256: str
+    cells: list[dict] = field(default_factory=list)
+    failures: list[ShardFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "format": 1,
+            "grid_sha256": self.grid_sha256,
+            "ok": self.ok,
+            "cells_total": len(self.cells) + len(self.failures),
+            "cells": self.cells,
+            "failures": [f.to_dict() for f in self.failures],
+            "aggregates": aggregate_cells(self.cells),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"sweep {self.grid_sha256[:12]}: {len(self.cells)} cells ok, "
+            f"{len(self.failures)} failed"
+        ]
+        for group, agg in aggregate_cells(self.cells).items():
+            metrics = agg["metrics"]
+            headline = []
+            for name in ("created", "rejected", "invariant_violations"):
+                if name in metrics:
+                    headline.append(f"{name} p50={metrics[name]['p50']:g}")
+            lines.append(
+                f"  {group}: seeds {agg['seeds']}"
+                + (f" — {', '.join(headline)}" if headline else "")
+            )
+        if self.failures:
+            lines.append("failed shards:")
+            lines.extend(
+                f"  {f.cell_id}: {f.reason} (attempts={f.attempts})"
+                for f in self.failures
+            )
+        lines.append(f"result: {'OK' if self.ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+def merge_records(
+    grid_sha256: str,
+    records: list[dict],
+    failures: list[ShardFailure],
+) -> SweepReport:
+    """Deterministic merge: sort by cell id, independent of arrival order."""
+    return SweepReport(
+        grid_sha256=grid_sha256,
+        cells=sorted(records, key=lambda r: r["cell_id"]),
+        failures=sorted(failures, key=lambda f: f.cell_id),
+    )

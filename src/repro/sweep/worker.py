@@ -1,0 +1,123 @@
+"""The per-shard worker: runs one grid cell in a child process.
+
+Everything here must be importable at module level so the engine works
+under the ``spawn`` start method as well as ``fork``.  A shard's result
+is a *cell record* — a pure function of the cell's spec, containing no
+wall-clock time, host identity, or worker-count dependence — which is
+what makes the merged sweep report byte-identical at any ``--workers``.
+
+Test hook: setting ``REPRO_SWEEP_TEST_FAULT`` in the environment makes
+the matching cell misbehave before it runs any simulation work::
+
+    crash|<cell_id>                  exit hard (code 3), every attempt
+    crash-once|<cell_id>|<sentinel>  exit hard once, succeed on retry
+    hang|<cell_id>                   sleep until the shard deadline kills us
+    error|<cell_id>                  raise (a deterministic in-cell failure)
+
+The sweep tests use these to exercise retry, structured failure, and
+deadline enforcement without patching the engine.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.config import ScenarioSpec
+
+#: Environment variable carrying an injected worker fault (tests only).
+TEST_FAULT_ENV = "REPRO_SWEEP_TEST_FAULT"
+
+#: Exit code of an injected hard crash.
+TEST_CRASH_EXIT = 3
+
+
+def _apply_test_fault(cell_id: str) -> None:
+    spec = os.environ.get(TEST_FAULT_ENV)
+    if not spec:
+        return
+    parts = spec.split("|")
+    kind = parts[0]
+    if len(parts) < 2 or parts[1] != cell_id:
+        return
+    if kind == "crash":
+        os._exit(TEST_CRASH_EXIT)
+    if kind == "crash-once" and len(parts) >= 3:
+        sentinel = Path(parts[2])
+        if not sentinel.exists():
+            sentinel.write_text("crashed\n")
+            os._exit(TEST_CRASH_EXIT)
+    if kind == "error":
+        raise RuntimeError(f"injected cell error for {cell_id}")
+    if kind == "hang":
+        while True:  # pragma: no cover - killed by the shard deadline
+            time.sleep(60)
+
+
+def cell_record(
+    cell_id: str, group: str, spec: ScenarioSpec, overrides: dict, result
+) -> dict:
+    """Deterministic digest of one finished cell.
+
+    Full fault/resilience reports would dwarf the sweep report, so they
+    are folded to their canonical-bytes hashes (any nondeterminism in a
+    subsystem still flips the sweep bytes) plus headline counters.
+    """
+    sched = result.scheduler_stats
+    stats: dict = {
+        "created": result.created,
+        "deleted": result.deleted,
+        "rejected": result.rejected,
+        "resized": result.resized,
+        "resize_failed": result.resize_failed,
+        "drs_migrations": result.drs_migrations,
+        "events_processed": result.events_processed,
+        "live_vms": len(result.vms),
+        "samples": result.store.sample_count(),
+        "scheduler": {k: sched[k] for k in sorted(sched)},
+    }
+    if result.fault_report is not None:
+        stats["fault_report_sha256"] = result.fault_report.sha256()
+    if result.resilience_report is not None:
+        stats["resilience_report_sha256"] = result.resilience_report.sha256()
+        stats["invariant_violations"] = len(result.resilience_report.violations)
+    return {
+        "cell_id": cell_id,
+        "group": group,
+        "seed": spec.seed,
+        "overrides": overrides,
+        "spec_sha256": spec.sha256(),
+        "stats": stats,
+    }
+
+
+def run_cell(cell_id: str, group: str, spec_doc: dict, overrides: dict) -> dict:
+    """Run one cell to completion and digest it (used in- and out-of-process)."""
+    spec = ScenarioSpec.from_dict(spec_doc)
+    result = spec.run()
+    return cell_record(cell_id, group, spec, overrides, result)
+
+
+def shard_main(conn, cell_id: str, group: str, spec_doc: dict, overrides: dict) -> None:
+    """Child-process entry: run one cell, ship the outcome over ``conn``.
+
+    A Python-level failure is reported as a structured ``("error", msg)``
+    message — those are deterministic, so the engine records them without
+    retry.  A process that dies without sending anything (crash, kill,
+    deadline) is the engine's problem.
+    """
+    try:
+        _apply_test_fault(cell_id)
+        record = run_cell(cell_id, group, spec_doc, overrides)
+        conn.send(("ok", record))
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

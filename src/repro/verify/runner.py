@@ -21,6 +21,10 @@ Checks:
     in-process; any byte difference is nondeterminism.  Replaces the
     former ``scripts/check_fault_determinism.sh`` and
     ``scripts/check_chaos_determinism.sh``.
+``sweep``
+    Order-independence of the scenario-sweep engine: a micro-grid run
+    sequentially, with one worker, and with two workers must merge to
+    byte-identical reports.
 ``goldens``
     Golden-trace regression against ``tests/goldens/``.
 """
@@ -32,6 +36,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.reporting import ReportBase
 from repro.verify.goldens import check_golden, update_golden
 from repro.verify.metamorphic import run_metamorphic
 from repro.verify.oracle import Mismatch, desync_index, run_oracle
@@ -44,6 +49,7 @@ ALL_CHECKS = (
     "metamorphic",
     "determinism_faults",
     "determinism_chaos",
+    "sweep",
     "goldens",
 )
 
@@ -96,7 +102,7 @@ class CheckOutcome:
 
 
 @dataclass
-class VerifyReport:
+class VerifyReport(ReportBase):
     """Everything one `repro verify` run produced."""
 
     config: VerifyConfig
@@ -250,6 +256,67 @@ def _check_determinism_chaos(scenario: VerifyScenario, seed: int) -> CheckOutcom
     )
 
 
+def _check_sweep(scenario: VerifyScenario, seed: int) -> CheckOutcome:
+    """The sweep engine's order-independence contract, held by comparison.
+
+    A micro-grid is executed three ways — sequentially in-process, and
+    through the multiprocess engine at one and at two workers — and all
+    three canonical renderings must be byte-identical.  Any divergence
+    means shard isolation (worker count, scheduling order, process
+    state) leaked into the merged report.
+    """
+    from repro.reporting import canonical_bytes
+    from repro.sweep import grid_from_dict, run_sweep, run_sweep_inline
+
+    grid = grid_from_dict(
+        {
+            "base": {
+                "duration_days": 0.05,
+                "building_blocks": 2,
+                "nodes_per_bb": 2,
+                "initial_vms": 8,
+                "arrival_rate_per_hour": 4.0,
+            },
+            "seeds": [seed, seed + 1],
+            "axes": {"arrival_rate_per_hour": [4.0, 8.0]},
+        }
+    )
+    inline = canonical_bytes(run_sweep_inline(grid)).decode("utf-8")
+    one_worker, _ = run_sweep(grid, workers=1)
+    two_workers, _ = run_sweep(grid, workers=2)
+    variants = {
+        "workers-1": canonical_bytes(one_worker).decode("utf-8"),
+        "workers-2": canonical_bytes(two_workers).decode("utf-8"),
+    }
+    diff = ""
+    for name, rendered in variants.items():
+        if rendered != inline:
+            diff = "".join(
+                difflib.unified_diff(
+                    inline.splitlines(keepends=True),
+                    rendered.splitlines(keepends=True),
+                    fromfile="sequential",
+                    tofile=name,
+                    n=2,
+                )
+            )
+            break
+    ok = not diff
+    return CheckOutcome(
+        check="sweep",
+        scenario=scenario.name,
+        seed=seed,
+        ok=ok,
+        summary=(
+            f"{len(grid.cells)}-cell grid byte-identical: sequential == "
+            "1 worker == 2 workers"
+            if ok
+            else "sweep report DIFFERS across worker counts"
+        ),
+        diff=diff,
+    )
+
+
 def _check_goldens(
     scenario: VerifyScenario, seed: int, goldens_dir: str | None, update: bool
 ) -> CheckOutcome:
@@ -301,6 +368,8 @@ def run_verify(config: VerifyConfig, progress=None) -> VerifyReport:
                 if not scenario.include_chaos:
                     continue
                 outcomes.append(_check_determinism_chaos(scenario, seed))
+            elif check == "sweep":
+                outcomes.append(_check_sweep(scenario, seed))
             elif check == "goldens":
                 outcomes.append(
                     _check_goldens(

@@ -22,7 +22,8 @@ from repro.bench import (
 def tiny_config() -> BenchConfig:
     """Small enough to run in seconds; sim stage disabled."""
     return BenchConfig(
-        scale=0.02, requests=60, ingest_cycles=4, rounds=1, run_sim=False
+        scale=0.02, requests=60, ingest_cycles=4, rounds=1, run_sim=False,
+        sweep_duration_days=0.02, sweep_initial_vms=6, sweep_workers=2,
     )
 
 
@@ -116,3 +117,35 @@ class TestCheckResults:
         problems = check_results({"results": results})
         assert len(problems) == 1
         assert "schedule_speedup_vs_legacy" in problems[0]
+
+
+class TestSweepStage:
+    def test_sweep_results_in_payload(self, payload):
+        results = payload["results"]
+        assert results["sweep_cells"] == 8
+        assert results["sweep_workers"] == 2
+        assert results["sweep_reports_identical"] is True
+        assert results["sweep_failed_shards"] == 0
+        assert results["sweep_scenarios_per_hour_1w"] > 0
+        assert results["sweep_scenarios_per_hour_nw"] > 0
+        assert results["sweep_cpu_count"] >= 1
+
+    def test_sim_30day_alias_flagged_deprecated_in_schema(self, payload):
+        note = payload["schema"]["deprecated"]["results.sim_30day_wall_s"]
+        assert "sim_wall_s" in note
+
+    def test_sweep_divergence_reported(self):
+        results = {key: 1.0 for key in REQUIRED_KEYS}
+        results["placements_identical"] = True
+        results.update({key: minimum for key, minimum in CHECK_BOUNDS})
+        results["sweep_reports_identical"] = False
+        problems = check_results({"results": results})
+        assert problems == ["sweep reports differ between 1 and N workers"]
+
+    def test_sweep_failed_shards_reported(self):
+        results = {key: 1.0 for key in REQUIRED_KEYS}
+        results["placements_identical"] = True
+        results.update({key: minimum for key, minimum in CHECK_BOUNDS})
+        results["sweep_failed_shards"] = 2
+        problems = check_results({"results": results})
+        assert problems == ["sweep bench had 2 failed shards"]

@@ -153,8 +153,8 @@ def test_chaos_config_unknown_section(capsys, tmp_path):
     path = tmp_path / "sections.json"
     path.write_text('{"failts": {}}')
     err = _run_expecting_exit_2(["chaos", "--config", str(path)], capsys)
-    assert "unknown sections failts" in err
-    assert "known: faults, resilience" in err
+    assert "unknown scenario config keys: failts" in err
+    assert "known:" in err and "faults" in err and "resilience" in err
 
 
 def test_chaos_config_bad_resilience_value(capsys, tmp_path):
@@ -321,23 +321,23 @@ def test_verify_interrupt_names_the_running_check(monkeypatch, capsys):
 
 
 def test_faults_interrupt_exits_130(monkeypatch, capsys):
-    from repro.faults import scenario
+    from repro.config import ScenarioSpec
 
-    def boom(config):
+    def boom(self, journal=None):
         raise KeyboardInterrupt
 
-    monkeypatch.setattr(scenario, "run_fault_scenario", boom)
+    monkeypatch.setattr(ScenarioSpec, "run", boom)
     code = main(["faults", "--days", "0.05"])
     _assert_interrupted(code, capsys, "faults")
 
 
 def test_chaos_interrupt_exits_130(monkeypatch, capsys):
-    from repro.resilience import chaos
+    from repro.config import ScenarioSpec
 
-    def boom(config, journal=None):
+    def boom(self, journal=None):
         raise KeyboardInterrupt
 
-    monkeypatch.setattr(chaos, "run_chaos_scenario", boom)
+    monkeypatch.setattr(ScenarioSpec, "run", boom)
     code = main(["chaos", "--days", "0.05", "--json-only"])
     _assert_interrupted(code, capsys, "chaos")
 

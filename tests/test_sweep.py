@@ -1,0 +1,368 @@
+"""Tests for the sharded scenario-sweep engine (repro.sweep).
+
+The load-bearing property throughout: the merged SweepReport is a pure
+function of the grid — independent of worker count, shard arrival
+order, crashes-with-retry, and resume — enforced byte-for-byte on the
+canonical rendering.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.faults.crashpoints import CrashInjector, CrashSpec, SimulatedCrash
+from repro.recovery.journal import read_journal
+from repro.reporting import canonical_bytes
+from repro.sweep import (
+    SweepResumeError,
+    grid_from_dict,
+    load_resume,
+    merge_records,
+    run_sweep,
+    run_sweep_inline,
+)
+from repro.sweep.worker import TEST_FAULT_ENV
+
+#: Cheap enough that one cell runs in tens of milliseconds.
+MICRO_BASE = {
+    "duration_days": 0.02,
+    "building_blocks": 2,
+    "nodes_per_bb": 2,
+    "initial_vms": 6,
+    "arrival_rate_per_hour": 2.0,
+}
+
+
+def micro_grid(seeds=(1, 2), axes=None):
+    return grid_from_dict(
+        {
+            "base": dict(MICRO_BASE),
+            "seeds": list(seeds),
+            "axes": axes
+            if axes is not None
+            else {"arrival_rate_per_hour": [2.0, 4.0]},
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def micro_report():
+    """One sequential execution of the 4-cell micro grid, reused widely."""
+    grid = micro_grid()
+    return grid, run_sweep_inline(grid)
+
+
+class TestGrid:
+    def test_expansion_order_and_ids(self):
+        grid = micro_grid()
+        assert [c.cell_id for c in grid.cells] == [
+            "arrival_rate_per_hour=2.0/seed=1",
+            "arrival_rate_per_hour=2.0/seed=2",
+            "arrival_rate_per_hour=4.0/seed=1",
+            "arrival_rate_per_hour=4.0/seed=2",
+        ]
+        assert grid.groups == [
+            "arrival_rate_per_hour=2.0",
+            "arrival_rate_per_hour=4.0",
+        ]
+
+    def test_no_axes_yields_seed_cells(self):
+        grid = micro_grid(seeds=(5,), axes={})
+        assert [c.cell_id for c in grid.cells] == ["seed=5"]
+        assert grid.cells[0].group == "(base)"
+
+    def test_section_axis_merges_into_base_section(self):
+        grid = grid_from_dict(
+            {
+                "base": {
+                    **MICRO_BASE,
+                    "faults": {"seed": 3, "host_failure_rate_per_day": 2.0},
+                },
+                "seeds": [1],
+                "axes": {"faults": [{"scrape_gap_probability": 0.5}]},
+            }
+        )
+        faults = grid.cells[0].spec.faults
+        # The axis dict overlays the base section instead of replacing it.
+        assert faults.scrape_gap_probability == 0.5
+        assert faults.host_failure_rate_per_day == 2.0
+
+    def test_null_axis_value_removes_section(self):
+        grid = grid_from_dict(
+            {
+                "base": {**MICRO_BASE, "faults": {"seed": 3}},
+                "seeds": [1],
+                "axes": {"faults": [None, {"seed": 4}]},
+            }
+        )
+        assert grid.cells[0].spec.faults is None
+        assert grid.cells[1].spec.faults.seed == 4
+
+    def test_unknown_grid_key_rejected(self):
+        with pytest.raises(ValueError, match="axs"):
+            grid_from_dict({"axs": {}})
+
+    def test_bad_cell_error_names_the_cell(self):
+        with pytest.raises(ValueError, match=r"seed=1.*topolgy"):
+            grid_from_dict(
+                {"seeds": [1], "axes": {"topolgy": ["lab"]}}
+            )
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            {"seeds": []},
+            {"seeds": [1, 1]},
+            {"seeds": ["x"]},
+            {"seeds": [True]},
+            {"axes": {"seed": []}},
+        ],
+    )
+    def test_bad_seeds_or_axes_rejected(self, doc):
+        with pytest.raises(ValueError):
+            grid_from_dict(doc)
+
+    def test_sha_tracks_grid_content(self):
+        assert micro_grid().sha256 == micro_grid().sha256
+        assert micro_grid().sha256 != micro_grid(seeds=(1, 3)).sha256
+
+
+class TestMergeProperty:
+    """merge(shuffled) == merge(ordered) == sequential, for seeds 1-5."""
+
+    @pytest.mark.parametrize("shuffle_seed", [1, 2, 3, 4, 5])
+    def test_merge_is_order_independent(self, micro_report, shuffle_seed):
+        grid, sequential = micro_report
+        records = [dict(r) for r in sequential.cells]
+        shuffled = list(records)
+        random.Random(shuffle_seed).shuffle(shuffled)
+        ordered = merge_records(grid.sha256, records, [])
+        permuted = merge_records(grid.sha256, shuffled, [])
+        assert (
+            canonical_bytes(permuted)
+            == canonical_bytes(ordered)
+            == canonical_bytes(sequential)
+        )
+
+    def test_failure_order_is_canonicalised_too(self, micro_report):
+        from repro.sweep.report import ShardFailure
+
+        grid, sequential = micro_report
+        failures = [
+            ShardFailure("z-cell", "worker exited with code 3", 2),
+            ShardFailure("a-cell", "shard deadline exceeded (2s)", 2),
+        ]
+        one = merge_records(grid.sha256, list(sequential.cells), failures)
+        other = merge_records(
+            grid.sha256, list(sequential.cells), list(reversed(failures))
+        )
+        assert canonical_bytes(one) == canonical_bytes(other)
+        assert [f.cell_id for f in one.failures] == ["a-cell", "z-cell"]
+
+
+class TestEngine:
+    def test_worker_count_does_not_change_bytes(self, micro_report):
+        grid, sequential = micro_report
+        one, _ = run_sweep(grid, workers=1)
+        three, _ = run_sweep(grid, workers=3)
+        assert (
+            canonical_bytes(one)
+            == canonical_bytes(three)
+            == canonical_bytes(sequential)
+        )
+
+    def test_run_stats_reflect_execution(self, micro_report):
+        grid, _ = micro_report
+        _, stats = run_sweep(grid, workers=2)
+        assert stats.cells_total == 4
+        assert stats.cells_run == 4
+        assert stats.cells_resumed == 0
+        assert stats.cells_failed == 0
+        assert stats.scenarios_per_hour > 0
+        assert "4/4 cells" in stats.render()
+
+    def test_persistent_crash_is_structured_failure(
+        self, micro_report, monkeypatch
+    ):
+        grid, _ = micro_report
+        victim = grid.cells[1].cell_id
+        monkeypatch.setenv(TEST_FAULT_ENV, f"crash|{victim}")
+        report, stats = run_sweep(grid, workers=2)
+        assert not report.ok
+        assert len(report.cells) == 3
+        (failure,) = report.failures
+        assert failure.cell_id == victim
+        assert failure.attempts == 2
+        assert "exited with code 3" in failure.reason
+        assert stats.retries == 1
+
+    def test_crash_once_retry_recovers_identical_bytes(
+        self, micro_report, monkeypatch, tmp_path
+    ):
+        grid, sequential = micro_report
+        victim = grid.cells[0].cell_id
+        monkeypatch.setenv(
+            TEST_FAULT_ENV, f"crash-once|{victim}|{tmp_path / 'sentinel'}"
+        )
+        report, stats = run_sweep(grid, workers=2)
+        assert report.ok
+        assert stats.retries == 1
+        assert canonical_bytes(report) == canonical_bytes(sequential)
+
+    def test_hung_shard_killed_at_deadline(self, micro_report, monkeypatch):
+        grid, _ = micro_report
+        victim = grid.cells[2].cell_id
+        monkeypatch.setenv(TEST_FAULT_ENV, f"hang|{victim}")
+        report, _ = run_sweep(grid, workers=2, deadline_s=1.5)
+        (failure,) = report.failures
+        assert failure.cell_id == victim
+        assert "deadline exceeded (1.5s)" in failure.reason
+        assert failure.attempts == 2
+
+    def test_deterministic_exception_not_retried(
+        self, micro_report, monkeypatch
+    ):
+        grid, _ = micro_report
+        victim = grid.cells[0].cell_id
+        monkeypatch.setenv(TEST_FAULT_ENV, f"error|{victim}")
+        report, stats = run_sweep(grid, workers=1)
+        (failure,) = report.failures
+        assert failure.attempts == 1
+        assert "RuntimeError" in failure.reason
+        assert stats.retries == 0
+
+
+class TestResume:
+    def test_crash_mid_sweep_resumes_without_rerunning(
+        self, micro_report, tmp_path
+    ):
+        """Kill the sweep driver at a shard boundary, then resume.
+
+        Reuses the crash-point injector from repro.faults.crashpoints as
+        the progress barrier: each completed shard fires one op, and the
+        injector dies after the second — exactly a driver crash between
+        journal appends.
+        """
+        grid, sequential = micro_report
+        journal = tmp_path / "sweep.journal"
+        injector = CrashInjector(CrashSpec("post-journal", at_op=1))
+
+        def barrier(message: str) -> None:
+            if message.startswith("done"):
+                injector("pre-op")
+                injector("post-journal")
+
+        with pytest.raises(SimulatedCrash):
+            run_sweep(
+                grid, workers=1, journal_path=journal, progress=barrier
+            )
+        completed = load_resume(journal, grid)
+        assert len(completed) == 2
+        report, stats = run_sweep(grid, workers=2, journal_path=journal)
+        assert stats.cells_resumed == 2
+        assert stats.cells_run == 2
+        assert canonical_bytes(report) == canonical_bytes(sequential)
+
+    def test_resume_refuses_a_different_grid(self, micro_report, tmp_path):
+        grid, _ = micro_report
+        journal = tmp_path / "sweep.journal"
+        run_sweep(grid, workers=1, journal_path=journal)
+        other = micro_grid(seeds=(1, 3))
+        with pytest.raises(SweepResumeError, match="different grid|not this grid"):
+            run_sweep(other, workers=1, journal_path=journal)
+
+    def test_torn_tail_is_tolerated_on_resume(self, micro_report, tmp_path):
+        grid, sequential = micro_report
+        journal = tmp_path / "sweep.journal"
+        run_sweep(grid, workers=1, journal_path=journal)
+        with open(journal, "ab") as fh:
+            fh.write(b"\x99\x12torn")
+        report, stats = run_sweep(grid, workers=1, journal_path=journal)
+        assert stats.cells_resumed == 4
+        assert canonical_bytes(report) == canonical_bytes(sequential)
+        assert not read_journal(journal).torn
+
+    def test_completed_sweep_resume_runs_nothing(self, micro_report, tmp_path):
+        grid, _ = micro_report
+        journal = tmp_path / "sweep.journal"
+        first, _ = run_sweep(grid, workers=2, journal_path=journal)
+        again, stats = run_sweep(grid, workers=2, journal_path=journal)
+        assert stats.cells_run == 0
+        assert stats.cells_resumed == 4
+        assert canonical_bytes(again) == canonical_bytes(first)
+
+
+class TestCli:
+    def _grid_file(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "base": dict(MICRO_BASE),
+                    "seeds": [1],
+                    "axes": {"arrival_rate_per_hour": [2.0, 4.0]},
+                }
+            )
+        )
+        return str(path)
+
+    def test_sweep_out_is_byte_stable_across_workers(self, tmp_path, capsys):
+        grid_file = self._grid_file(tmp_path)
+        out1 = tmp_path / "one.json"
+        out2 = tmp_path / "two.json"
+        assert (
+            main(
+                ["sweep", "--config", grid_file, "--workers", "1",
+                 "--out", str(out1), "--json-only"]
+            )
+            == 0
+        )
+        assert (
+            main(
+                ["sweep", "--config", grid_file, "--workers", "2",
+                 "--out", str(out2), "--json-only"]
+            )
+            == 0
+        )
+        assert out1.read_bytes() == out2.read_bytes()
+        doc = json.loads(out1.read_text())
+        assert doc["ok"] is True
+        assert doc["cells_total"] == 2
+        assert [c["cell_id"] for c in doc["cells"]] == sorted(
+            c["cell_id"] for c in doc["cells"]
+        )
+
+    def test_sweep_stdout_equals_out_file(self, tmp_path, capsys):
+        grid_file = self._grid_file(tmp_path)
+        out = tmp_path / "sweep.json"
+        main(["sweep", "--config", grid_file, "--out", str(out), "--json-only"])
+        capsys.readouterr()
+        main(["sweep", "--config", grid_file, "--json-only"])
+        assert capsys.readouterr().out == out.read_text()
+
+    def test_sweep_bad_grid_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        path.write_text('{"axes": {"topolgy": ["lab"]}}')
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--config", str(path)])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "topolgy" in err
+        assert "Traceback" not in err
+
+    def test_sweep_bad_workers_exits_2(self, tmp_path, capsys):
+        grid_file = self._grid_file(tmp_path)
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--config", grid_file, "--workers", "0"])
+        assert exc.value.code == 2
+
+    def test_sweep_failed_shard_exits_1(self, tmp_path, capsys, monkeypatch):
+        grid_file = self._grid_file(tmp_path)
+        monkeypatch.setenv(TEST_FAULT_ENV, "error|arrival_rate_per_hour=2.0/seed=1")
+        code = main(["sweep", "--config", grid_file, "--json-only"])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        assert doc["failures"][0]["cell_id"] == "arrival_rate_per_hour=2.0/seed=1"
