@@ -33,6 +33,7 @@ import json
 import resource
 import time
 from dataclasses import asdict, dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -79,6 +80,7 @@ class BenchConfig:
     sweep_duration_days: float = 0.25
     sweep_initial_vms: int = 40
     sweep_workers: int = 4
+    journal_records: int = 2000
 
     @classmethod
     def smoke(cls) -> "BenchConfig":
@@ -98,6 +100,7 @@ class BenchConfig:
             sweep_duration_days=0.05,
             sweep_initial_vms=16,
             sweep_workers=2,
+            journal_records=400,
         )
 
 
@@ -323,6 +326,44 @@ def bench_sweep(config: BenchConfig) -> dict:
     }
 
 
+def bench_journal(config: BenchConfig) -> dict:
+    """Journal-append throughput: ``durability=fsync`` vs ``flush``.
+
+    The fsync mode is the crash-consistent default (every record durable
+    at commit); flush is the sim-only fast path (``repro chaos
+    --journal``).  The gap quantifies what power-loss durability costs on
+    this host's storage, so a surprising fsync cliff in CI is visible in
+    the artifact rather than silently absorbed.
+    """
+    import tempfile
+
+    from repro.recovery import JournalWriter
+
+    record = {
+        "type": "bench",
+        "record": {"vm_id": "vm-00000", "host": "node-000-00", "op": 0},
+    }
+    timings: dict[str, float] = {}
+    for durability in ("fsync", "flush"):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-journal-") as tmp:
+            writer = JournalWriter(
+                Path(tmp) / "bench.journal", durability=durability
+            )
+            t0 = time.perf_counter()
+            for i in range(config.journal_records):
+                record["record"]["op"] = i
+                writer.append(record)
+            timings[durability] = time.perf_counter() - t0
+            writer.close()
+    n = config.journal_records
+    return {
+        "journal_records": n,
+        "journal_append_per_s_fsync": n / timings["fsync"],
+        "journal_append_per_s_flush": n / timings["flush"],
+        "journal_flush_speedup_vs_fsync": timings["fsync"] / timings["flush"],
+    }
+
+
 def run_bench(config: BenchConfig | None = None, echo=None) -> dict:
     """Run every bench stage; returns the BENCH_scale.json payload."""
     config = config or BenchConfig()
@@ -345,6 +386,8 @@ def run_bench(config: BenchConfig | None = None, echo=None) -> dict:
         f"scenario sweep: 8 cells at 1 vs {config.sweep_workers} worker(s) ..."
     )
     results.update(bench_sweep(config))
+    say(f"journal appends: {config.journal_records} records, fsync vs flush ...")
+    results.update(bench_journal(config))
     results["peak_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     for key in ("schedule_requests_per_s", "telemetry_ingest_samples_per_s"):
         baseline = PRE_PR_BASELINE[key]
@@ -380,6 +423,7 @@ REQUIRED_KEYS = (
     "schedule_requests_per_s",
     "telemetry_ingest_samples_per_s",
     "drs_round_latency_s",
+    "journal_append_per_s_fsync",
     "peak_rss_kb",
 )
 

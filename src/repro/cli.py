@@ -39,6 +39,15 @@ Subcommands::
         prove the damage is detected with named offsets.  Exits non-zero
         on any divergence or undetected corruption.
 
+    repro torture [--scenario NAME] [--seeds N|A,B,...] [--schedules N]
+                  [--out FILE]
+        Run the durability torture harness: interleave injected storage
+        faults (ENOSPC, EIO, short writes, failing/lying fsyncs, torn
+        renames) with the crash-point injector over seeded schedules,
+        then power-cut the fake disk and prove every persistent artifact
+        (journal, snapshot, report, golden, sweep journal) either
+        recovers byte-identical or fails with a structured IoFaultError.
+
     repro sweep --config GRID.json [--workers N] [--journal FILE]
                 [--out FILE]
         Shard a scenario grid (base ScenarioSpec x axes x seeds) across
@@ -89,7 +98,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     dataset = generate_dataset(config)
-    dataset.to_csv(args.out)
+    try:
+        dataset.to_csv(args.out)
+    except OSError as exc:
+        raise _config_error(
+            f"repro: generate --out {args.out}: {exc}"
+        ) from exc
     summary = dataset.summary()
     print(
         f"Wrote {args.out}: {summary['nodes']} nodes, {summary['vms']} VMs, "
@@ -186,6 +200,24 @@ def _config_error(message: str) -> SystemExit:
     return SystemExit(2)
 
 
+def _write_out(report, out_path: str, command: str) -> None:
+    """Write a report to ``--out``; unwritable paths exit 2, not traceback.
+
+    The storage layer surfaces every write failure as a structured
+    :class:`~repro.iofaults.layer.IoFaultError` (an ``OSError``), so a
+    read-only directory, a missing parent, or a full disk all land here
+    — same one-line contract as a malformed ``--config``.
+    """
+    from repro.reporting import write_report
+
+    try:
+        write_report(report, out_path)
+    except OSError as exc:
+        raise _config_error(
+            f"repro: {command} --out {out_path}: {exc}"
+        ) from exc
+
+
 class _ProgressTracker:
     """Remembers the last progress message a long command reported.
 
@@ -270,7 +302,6 @@ def _scenario_spec_from_config(
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.config import ScenarioSpec
     from repro.faults import FaultConfig
-    from repro.reporting import write_report
 
     faults = FaultConfig(
         seed=args.fault_seed if args.fault_seed is not None else args.seed,
@@ -324,7 +355,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         )
     print(report.render(), file=sys.stderr)
     if args.out:
-        write_report(report, args.out)
+        _write_out(report, args.out, "faults")
         print(f"Wrote {args.out}", file=sys.stderr)
     else:
         print(report.to_json())
@@ -356,7 +387,6 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
     from repro.config import ScenarioSpec
-    from repro.reporting import write_report
     from repro.resilience.chaos import (
         ChaosSummary,
         default_chaos_faults,
@@ -395,7 +425,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.journal:
         from repro.recovery import JournalWriter
 
-        journal_writer = JournalWriter(args.journal)
+        # Sim-only hot path: flush durability (survives process death,
+        # not power loss) keeps the chaos loop off the fsync floor.
+        try:
+            journal_writer = JournalWriter(args.journal, durability="flush")
+        except OSError as exc:
+            raise _config_error(
+                f"repro: chaos --journal {args.journal}: {exc}"
+            ) from exc
         journal_sink = journal_writer.append
     try:
         result = spec.run(journal=journal_sink)
@@ -423,7 +460,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if not args.json_only:
         print(summary.render(), file=sys.stderr)
     if args.out:
-        write_report(summary, args.out)
+        _write_out(summary, args.out, "chaos")
         if not args.json_only:
             print(f"Wrote {args.out}", file=sys.stderr)
     else:
@@ -442,7 +479,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.days is not None:
         config = replace(config, sim_days=args.days)
     payload = run_bench(config, echo=lambda msg: print(msg, file=sys.stderr))
-    write_bench_json(payload, args.out)
+    try:
+        write_bench_json(payload, args.out)
+    except OSError as exc:
+        raise _config_error(f"repro: bench --out {args.out}: {exc}") from exc
     results = payload["results"]
     print(
         f"schedule: {results['schedule_requests_per_s']:,.0f} req/s "
@@ -455,6 +495,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{results['telemetry_ingest_samples_speedup_vs_baseline']:.2f}x vs pre-PR baseline)"
     )
     print(f"DRS round: {results['drs_round_latency_s'] * 1e3:.1f} ms")
+    print(
+        f"journal:  {results['journal_append_per_s_fsync']:,.0f} appends/s at "
+        f"fsync durability ({results['journal_flush_speedup_vs_fsync']:.1f}x "
+        f"faster at flush)"
+    )
     if "sim_wall_s" in results:
         print(
             f"simulation: {results['sim_days']:g} days in "
@@ -515,9 +560,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if not args.json_only:
         print(report.render(), file=sys.stderr)
     if args.out:
-        from repro.reporting import write_report
-
-        write_report(report, args.out)
+        _write_out(report, args.out, "verify")
         if not args.json_only:
             print(f"Wrote {args.out}", file=sys.stderr)
     else:
@@ -585,9 +628,7 @@ def _cmd_crash(args: argparse.Namespace) -> int:
     if not args.json_only:
         print(report.render(), file=sys.stderr)
     if args.out:
-        from repro.reporting import write_report
-
-        write_report(report, args.out)
+        _write_out(report, args.out, "crash")
         if not args.json_only:
             print(f"Wrote {args.out}", file=sys.stderr)
     else:
@@ -596,7 +637,6 @@ def _cmd_crash(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.reporting import write_report
     from repro.sweep import SweepResumeError, grid_from_dict, run_sweep
 
     data = _load_config_file(args.config, "sweep")
@@ -646,7 +686,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(report.render(), file=sys.stderr)
         print(stats.render(), file=sys.stderr)
     if args.out:
-        write_report(report, args.out)
+        _write_out(report, args.out, "sweep")
+        if not args.json_only:
+            print(f"Wrote {args.out}", file=sys.stderr)
+    else:
+        print(report.canonical_json(), end="")
+    return 0 if report.ok else 1
+
+
+def _cmd_torture(args: argparse.Namespace) -> int:
+    from repro.iofaults import TortureConfig, run_torture
+    from repro.verify.runner import BASE_SEED
+    from repro.verify.scenarios import SCENARIOS
+
+    if args.scenario not in SCENARIOS:
+        raise _config_error(
+            f"repro: unknown scenario {args.scenario!r}; "
+            f"known: {', '.join(sorted(SCENARIOS))}"
+        )
+    seeds = _parse_seeds(args.seeds, BASE_SEED)
+    if args.schedules < 1:
+        raise _config_error("repro: --schedules must be >= 1")
+    if args.snapshot_every < 1:
+        raise _config_error("repro: --snapshot-every must be >= 1")
+    config = TortureConfig(
+        scenario=args.scenario,
+        seeds=tuple(seeds),
+        schedules=args.schedules,
+        snapshot_every=args.snapshot_every,
+    )
+    stage = _ProgressTracker("starting up")
+
+    def progress(message: str) -> None:
+        stage(message)
+        if not args.json_only:
+            print(f"  {message}", file=sys.stderr)
+
+    if not args.json_only:
+        print(
+            f"Running durability torture: scenario {args.scenario}, "
+            f"seeds {','.join(str(s) for s in seeds)}, "
+            f"{args.schedules} schedules per seed ...",
+            file=sys.stderr,
+        )
+    try:
+        report = run_torture(config, progress=progress)
+    except KeyboardInterrupt:
+        return _interrupted("torture", stage.last)
+    if not args.json_only:
+        print(report.render(), file=sys.stderr)
+    if args.out:
+        _write_out(report, args.out, "torture")
         if not args.json_only:
             print(f"Wrote {args.out}", file=sys.stderr)
     else:
@@ -835,6 +925,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crash.add_argument("--out", default=None, help="write report JSON here")
     crash.set_defaults(func=_cmd_crash)
+
+    torture = sub.add_parser(
+        "torture",
+        help="interleave storage faults (ENOSPC, EIO, short writes, lying "
+        "fsyncs, torn renames) with crash points over seeded schedules and "
+        "prove every artifact recovers byte-identical or fails structured",
+    )
+    torture.add_argument(
+        "--scenario", default="tiny",
+        help="verification scenario: tiny | default | dense",
+    )
+    torture.add_argument(
+        "--seeds", default="1", metavar="N|A,B,...",
+        help="seed count (from 7) or explicit comma-separated seeds",
+    )
+    torture.add_argument(
+        "--schedules", type=int, default=15, metavar="N",
+        help="fault schedules per seed, round-robined over the artifacts "
+        "(wal, snapshot, report, golden, sweep-journal)",
+    )
+    torture.add_argument(
+        "--snapshot-every", type=int, default=10, metavar="OPS",
+        help="ops between control-plane snapshots in WAL schedules",
+    )
+    torture.add_argument(
+        "--json-only", action="store_true",
+        help="suppress the stderr progress/summary; print only the JSON",
+    )
+    torture.add_argument("--out", default=None, help="write report JSON here")
+    torture.set_defaults(func=_cmd_torture)
 
     sweep = sub.add_parser(
         "sweep",

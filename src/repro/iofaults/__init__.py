@@ -1,0 +1,51 @@
+"""Deterministic storage-fault injection and the durability torture harness.
+
+:mod:`repro.iofaults.layer` is the injectable filesystem shim every
+persistent artifact routes through; :mod:`repro.iofaults.torture` is the
+harness that interleaves its faults with crash-point injection and
+asserts every artifact recovers byte-identically or fails structurally.
+"""
+
+from repro.iofaults.layer import (
+    FAULT_KINDS,
+    FaultSpec,
+    FaultyIO,
+    IoFaultError,
+    RealIO,
+    active_io,
+    atomic_write_bytes,
+    inject,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultyIO",
+    "IoFaultError",
+    "RealIO",
+    "active_io",
+    "atomic_write_bytes",
+    "inject",
+    # lazily loaded from repro.iofaults.torture (imports recovery/verify):
+    "ARTIFACTS",
+    "TortureCase",
+    "TortureConfig",
+    "TortureReport",
+    "run_torture",
+]
+
+_TORTURE_EXPORTS = {
+    "ARTIFACTS",
+    "TortureCase",
+    "TortureConfig",
+    "TortureReport",
+    "run_torture",
+}
+
+
+def __getattr__(name):
+    if name in _TORTURE_EXPORTS:
+        from repro.iofaults import torture
+
+        return getattr(torture, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

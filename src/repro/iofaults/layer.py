@@ -1,0 +1,501 @@
+"""The injectable filesystem shim every durable artifact routes through.
+
+Every byte this repo promises to keep — the write-ahead journal, control
+plane snapshots, the sweep resume journal, golden traces, every ``--out``
+report — reaches disk through one of the operations below, each tagged
+with a **named IO point** (``journal.append``, ``snapshot.rename``,
+``report.dirsync``, ...).  That gives the storage layer the same two
+properties :mod:`repro.faults.crashpoints` gave process death:
+
+- **determinism** — a :class:`FaultSpec` pins a fault to the Nth
+  operation at a named point, so an injected ENOSPC, EIO, short write,
+  fsync failure/lie, or lost rename lands on the exact same byte every
+  run;
+- **structure** — every storage failure, injected *or real*, surfaces
+  as :class:`IoFaultError` carrying the point, operation, and fault
+  kind.  CLIs turn it into a one-line exit-2 message; the torture
+  harness asserts it is raised instead of a torn artifact.
+
+Two backends share the interface: :class:`RealIO` passes straight
+through to the OS (wrapping real ``OSError`` into :class:`IoFaultError`
+with the point named), and :class:`FaultyIO` injects scheduled faults
+on top while tracking **durability** — which byte ranges an honest disk
+would still hold after sudden power loss.  :meth:`FaultyIO.power_cut`
+applies that model: appended bytes past the last successful fsync are
+dropped, and renames never followed by a directory fsync are rolled
+back.  A journal written with ``durability="flush"`` therefore loses
+its tail on power cut exactly as a real page cache would.
+
+Injection is ambient: :func:`inject` installs a backend in a context
+variable and :func:`active_io` hands it to whichever component performs
+IO inside the ``with`` block, so the torture harness can reach the
+journal buried three layers inside a :class:`~repro.recovery.run.JournaledRun`
+without threading parameters through every constructor.  Components also
+accept an explicit ``io=`` for direct unit testing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import errno
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+#: The fault catalogue — every kind of storage misbehaviour the shim can
+#: inject, named after what an operator would see.
+FAULT_KINDS = (
+    "enospc",       # write fails with ENOSPC; nothing reaches the file
+    "eio-read",     # read fails with EIO at a byte offset
+    "eio-write",    # write fails with EIO; nothing reaches the file
+    "short-write",  # only a prefix reaches the file, then the write errors
+    "fsync-fail",   # fsync raises; nothing new became durable
+    "fsync-lie",    # fsync "succeeds" but hardens nothing (power_cut tells)
+    "rename-fail",  # os.replace raises; old and new files both survive
+    "rename-lost",  # os.replace succeeds but power_cut rolls it back
+)
+
+_ERRNO_OF = {
+    "enospc": errno.ENOSPC,
+    "eio-read": errno.EIO,
+    "eio-write": errno.EIO,
+    "short-write": errno.EIO,
+    "fsync-fail": errno.EIO,
+    "rename-fail": errno.EIO,
+}
+
+
+class IoFaultError(OSError):
+    """A storage failure at a named IO point — injected or real.
+
+    The structured twin of a raw ``OSError``: consumers get the IO
+    point (``journal.append``), the operation (``write``), the path,
+    and the fault kind (``enospc``/``eio``/``eacces``...), so every
+    layer above can act on it — and no durable-artifact failure ever
+    escapes as an anonymous traceback.
+    """
+
+    def __init__(
+        self,
+        point: str,
+        op: str,
+        path,
+        kind: str,
+        detail: str = "",
+        *,
+        injected: bool = True,
+    ) -> None:
+        self.point = point
+        self.op = op
+        self.fault_path = str(path)
+        self.kind = kind
+        self.detail = detail
+        self.injected = injected
+        origin = "injected " if injected else ""
+        message = f"{origin}{kind} at IO point {point!r} ({op} {self.fault_path})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.errno = _ERRNO_OF.get(kind)
+
+
+def _real_kind(exc: OSError) -> str:
+    """The catalogue-style name of a genuine OSError (``enospc``, ...)."""
+    code = errno.errorcode.get(exc.errno or 0, "")
+    return code.lower() if code else type(exc).__name__.lower()
+
+
+def _wrap_oserror(exc: OSError, point: str, op: str, path) -> IoFaultError:
+    return IoFaultError(
+        point,
+        op,
+        path,
+        _real_kind(exc),
+        detail=exc.strerror or str(exc),
+        injected=False,
+    )
+
+
+@dataclass
+class IoHandle:
+    """One open file the IO layer is responsible for."""
+
+    fh: object
+    path: Path
+
+    @property
+    def closed(self) -> bool:
+        return self.fh.closed
+
+
+class RealIO:
+    """Pass-through backend: the OS, with failures given their IO point."""
+
+    def read_bytes(self, path, *, point: str) -> bytes:
+        try:
+            return Path(path).read_bytes()
+        except OSError as exc:
+            raise _wrap_oserror(exc, point, "read", path) from exc
+
+    def open_append(self, path, *, point: str) -> IoHandle:
+        try:
+            return IoHandle(fh=open(path, "ab"), path=Path(path))
+        except OSError as exc:
+            raise _wrap_oserror(exc, point, "open", path) from exc
+
+    def open_write(self, path, *, point: str) -> IoHandle:
+        try:
+            return IoHandle(fh=open(path, "wb"), path=Path(path))
+        except OSError as exc:
+            raise _wrap_oserror(exc, point, "open", path) from exc
+
+    def write(self, handle: IoHandle, data: bytes, *, point: str) -> None:
+        try:
+            handle.fh.write(data)
+        except OSError as exc:
+            raise _wrap_oserror(exc, point, "write", handle.path) from exc
+
+    def flush(self, handle: IoHandle, *, point: str) -> None:
+        try:
+            handle.fh.flush()
+        except OSError as exc:
+            raise _wrap_oserror(exc, point, "flush", handle.path) from exc
+
+    def fsync(self, handle: IoHandle, *, point: str) -> None:
+        try:
+            handle.fh.flush()
+            os.fsync(handle.fh.fileno())
+        except OSError as exc:
+            raise _wrap_oserror(exc, point, "fsync", handle.path) from exc
+
+    def tell(self, handle: IoHandle) -> int:
+        return handle.fh.tell()
+
+    def close(self, handle: IoHandle) -> None:
+        if not handle.fh.closed:
+            handle.fh.close()
+
+    def replace(self, src, dst, *, point: str) -> None:
+        try:
+            os.replace(src, dst)
+        except OSError as exc:
+            raise _wrap_oserror(exc, point, "rename", dst) from exc
+
+    def fsync_dir(self, directory, *, point: str) -> None:
+        """Harden a rename: fsync the directory holding the entry."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError as exc:
+            raise _wrap_oserror(exc, point, "dirsync", directory) from exc
+        try:
+            os.fsync(fd)
+        except OSError as exc:  # pragma: no cover - fs-dependent
+            raise _wrap_oserror(exc, point, "dirsync", directory) from exc
+        finally:
+            os.close(fd)
+
+    def truncate(self, path, size: int, *, point: str) -> None:
+        try:
+            with open(path, "r+b") as fh:
+                fh.truncate(size)
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            raise _wrap_oserror(exc, point, "truncate", path) from exc
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Inject ``kind`` the ``op_index``-th time IO hits ``point``.
+
+    ``at_byte`` refines the two offset-sensitive kinds: the byte count a
+    short write delivers before failing, or the offset an EIO read dies
+    at (purely informational for reads — the whole read fails either
+    way, as it does on a real disk).
+    """
+
+    point: str
+    op_index: int = 0
+    kind: str = "eio-write"
+    at_byte: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.op_index < 0:
+            raise ValueError("op_index must be >= 0")
+        if self.at_byte is not None and self.at_byte < 0:
+            raise ValueError("at_byte must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "op_index": self.op_index,
+            "kind": self.kind,
+            "at_byte": self.at_byte,
+        }
+
+
+class FaultyIO(RealIO):
+    """RealIO plus scheduled faults and an honest power-loss model.
+
+    Counts every operation per IO point; when a :class:`FaultSpec`
+    matches, the corresponding failure is injected (each spec fires at
+    most once).  Independently of injection it tracks which bytes a
+    sudden power loss would preserve: appended data becomes durable
+    only at a successful (non-lying) fsync, and a rename only at the
+    following directory fsync.  :meth:`power_cut` applies the model to
+    the real filesystem, which is what makes ``fsync-lie`` and
+    ``rename-lost`` observable.
+    """
+
+    def __init__(self, specs=()) -> None:
+        self.specs: list[FaultSpec] = list(specs)
+        #: Operations seen per IO point (also the clock specs fire on).
+        self.counts: dict[str, int] = {}
+        #: ``"kind@point"`` strings, in firing order.
+        self.fired: list[str] = []
+        self._consumed: set[int] = set()
+        self._durable: dict[str, int] = {}
+        self._pending_renames: dict[str, bytes | None] = {}
+        # A disk that lies about one flush keeps lying (the write cache
+        # is ignoring FLUSH, not having a momentary lapse) — otherwise
+        # the graceful close's fsync would quietly harden everything and
+        # the lie could never be observed.
+        self._lying_files: set[str] = set()
+        self._lying_dirs: set[str] = set()
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _arm(self, point: str) -> FaultSpec | None:
+        seen = self.counts.get(point, 0)
+        self.counts[point] = seen + 1
+        for i, spec in enumerate(self.specs):
+            if i in self._consumed:
+                continue
+            if spec.point == point and spec.op_index == seen:
+                self._consumed.add(i)
+                self.fired.append(f"{spec.kind}@{point}")
+                return spec
+        return None
+
+    def _mark_durable(self, handle: IoHandle) -> None:
+        self._durable[str(handle.path)] = os.fstat(handle.fh.fileno()).st_size
+
+    # -- faultable operations -------------------------------------------------
+
+    def read_bytes(self, path, *, point: str) -> bytes:
+        spec = self._arm(point)
+        if spec is not None and spec.kind == "eio-read":
+            offset = spec.at_byte if spec.at_byte is not None else 0
+            raise IoFaultError(
+                point, "read", path, spec.kind,
+                detail=f"device error at byte {offset}",
+            )
+        return super().read_bytes(path, point=point)
+
+    def open_append(self, path, *, point: str) -> IoHandle:
+        spec = self._arm(point)
+        if spec is not None:
+            # O_CREAT on a full/failing disk: any scheduled kind fails
+            # the open rather than silently consuming the spec.
+            raise IoFaultError(point, "open", path, spec.kind)
+        handle = super().open_append(path, point=point)
+        key = str(handle.path)
+        # Pre-existing bytes were someone else's commit; take them as durable.
+        self._durable.setdefault(key, os.fstat(handle.fh.fileno()).st_size)
+        return handle
+
+    def open_write(self, path, *, point: str) -> IoHandle:
+        spec = self._arm(point)
+        if spec is not None:
+            raise IoFaultError(point, "open", path, spec.kind)
+        handle = super().open_write(path, point=point)
+        self._durable[str(handle.path)] = 0
+        return handle
+
+    def write(self, handle: IoHandle, data: bytes, *, point: str) -> None:
+        spec = self._arm(point)
+        if spec is None:
+            super().write(handle, data, point=point)
+            return
+        if spec.kind in ("enospc", "eio-write"):
+            raise IoFaultError(point, "write", handle.path, spec.kind)
+        if spec.kind == "short-write":
+            cut = spec.at_byte if spec.at_byte is not None else len(data) // 2
+            cut = max(0, min(cut, len(data)))
+            super().write(handle, data[:cut], point=point)
+            super().flush(handle, point=point)
+            raise IoFaultError(
+                point, "write", handle.path, spec.kind,
+                detail=f"only {cut} of {len(data)} bytes written",
+            )
+        # A kind that does not apply to writes: inject a plain EIO so a
+        # mis-targeted schedule is still a fault, not a silent no-op.
+        raise IoFaultError(point, "write", handle.path, "eio-write")
+
+    def flush(self, handle: IoHandle, *, point: str) -> None:
+        spec = self._arm(point)
+        if spec is not None:
+            # Buffered bytes hit the disk at flush, so ENOSPC/EIO are
+            # just as much flush failures as write failures.
+            raise IoFaultError(point, "flush", handle.path, spec.kind)
+        super().flush(handle, point=point)
+
+    def fsync(self, handle: IoHandle, *, point: str) -> None:
+        spec = self._arm(point)
+        key = str(handle.path)
+        if spec is not None:
+            if spec.kind == "fsync-lie":
+                # Reports success, hardens nothing — from now on.  The
+                # data still reaches the OS (flush), so the *file* looks
+                # complete until power_cut applies the truth.
+                super().flush(handle, point=point)
+                self._lying_files.add(key)
+                return
+            raise IoFaultError(point, "fsync", handle.path, spec.kind)
+        if key in self._lying_files:
+            super().flush(handle, point=point)
+            return
+        super().fsync(handle, point=point)
+        self._mark_durable(handle)
+
+    def replace(self, src, dst, *, point: str) -> None:
+        spec = self._arm(point)
+        if spec is not None and spec.kind == "rename-fail":
+            raise IoFaultError(point, "rename", dst, spec.kind)
+        dst_path = Path(dst)
+        previous = dst_path.read_bytes() if dst_path.exists() else None
+        super().replace(src, dst, point=point)
+        key = str(dst_path)
+        # The entry is not durable until the directory is fsynced.
+        self._pending_renames[key] = previous
+        moved = self._durable.pop(str(Path(src)), None)
+        self._durable[key] = (
+            moved if moved is not None else dst_path.stat().st_size
+        )
+        if spec is not None and spec.kind == "rename-lost":
+            # The entry will never reach the platter: subsequent
+            # directory fsyncs lie too, so only power_cut tells.
+            self._lying_dirs.add(str(dst_path.parent))
+        elif spec is not None:
+            raise IoFaultError(point, "rename", dst, spec.kind)
+
+    def fsync_dir(self, directory, *, point: str) -> None:
+        spec = self._arm(point)
+        key = str(Path(directory))
+        if spec is not None:
+            if spec.kind == "fsync-lie":
+                self._lying_dirs.add(key)
+                return
+            raise IoFaultError(point, "dirsync", directory, spec.kind)
+        if key in self._lying_dirs:
+            return
+        super().fsync_dir(directory, point=point)
+        directory = Path(directory)
+        for key in [
+            k for k in self._pending_renames if Path(k).parent == directory
+        ]:
+            del self._pending_renames[key]
+
+    def truncate(self, path, size: int, *, point: str) -> None:
+        spec = self._arm(point)
+        if spec is not None:
+            raise IoFaultError(point, "truncate", path, spec.kind)
+        super().truncate(path, size, point=point)
+        key = str(Path(path))
+        if key in self._durable:
+            self._durable[key] = min(self._durable[key], size)
+
+    # -- the power-loss model -------------------------------------------------
+
+    def power_cut(self) -> list[str]:
+        """Simulate sudden power loss; returns the paths that lost data.
+
+        Renames never hardened by a directory fsync are rolled back
+        (the old file contents restored, or the entry removed when
+        nothing preceded it), and every tracked file is truncated to
+        its last fsync-durable size.
+        """
+        affected: set[str] = set()
+        for key, previous in self._pending_renames.items():
+            target = Path(key)
+            if previous is None:
+                with contextlib.suppress(FileNotFoundError):
+                    target.unlink()
+            else:
+                target.write_bytes(previous)
+            self._durable.pop(key, None)
+            affected.add(key)
+        self._pending_renames.clear()
+        for key, durable in self._durable.items():
+            target = Path(key)
+            if not target.exists():
+                continue
+            if target.stat().st_size > durable:
+                with open(target, "r+b") as fh:
+                    fh.truncate(durable)
+                affected.add(key)
+        return sorted(affected)
+
+
+#: The process-default backend: the real filesystem.
+REAL_IO = RealIO()
+
+_ACTIVE: contextvars.ContextVar[RealIO | None] = contextvars.ContextVar(
+    "repro_iofaults_active", default=None
+)
+
+
+def active_io() -> RealIO:
+    """The currently injected IO backend, or the real filesystem."""
+    return _ACTIVE.get() or REAL_IO
+
+
+@contextlib.contextmanager
+def inject(io: RealIO):
+    """Route every IO-layer operation in this context through ``io``."""
+    token = _ACTIVE.set(io)
+    try:
+        yield io
+    finally:
+        _ACTIVE.reset(token)
+
+
+def atomic_write_bytes(
+    path, data: bytes, *, points: str, io: RealIO | None = None
+) -> Path:
+    """The one torn-write-proof file commit: tmp → fsync → rename → dirsync.
+
+    ``points`` prefixes the IO-point names (``report.write``,
+    ``golden.fsync``, ...).  A crash or fault anywhere in the sequence
+    leaves either the previous file or the complete new one — the temp
+    file is fsynced before the rename, and the parent directory after
+    it, so the guarantee holds across power loss, not just process
+    death.
+    """
+    io = io or active_io()
+    path = Path(path)
+    directory = path.parent
+    try:
+        fd, tmp_name = tempfile.mkstemp(prefix=f".{path.name}.", dir=directory)
+    except OSError as exc:
+        raise _wrap_oserror(exc, f"{points}.create", "create", path) from exc
+    os.close(fd)  # reopened through the IO layer so faults see the writes
+    try:
+        handle = io.open_write(tmp_name, point=f"{points}.write")
+        try:
+            io.write(handle, data, point=f"{points}.write")
+            io.fsync(handle, point=f"{points}.fsync")
+        finally:
+            io.close(handle)
+        io.replace(tmp_name, path, point=f"{points}.rename")
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    io.fsync_dir(directory, point=f"{points}.dirsync")
+    return path

@@ -29,6 +29,7 @@ the fault models.
 """
 
 from repro.recovery.journal import (
+    DURABILITY_MODES,
     JournalCorruption,
     JournalScan,
     JournalWriter,
@@ -67,6 +68,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "CRASH_POINTS",
+    "DURABILITY_MODES",
     "CorruptionCase",
     "CrashCycle",
     "CrashReport",

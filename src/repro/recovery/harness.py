@@ -184,6 +184,7 @@ def run_crash_cycles(
     snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
     points: tuple[str, ...] = CRASH_POINTS,
     corruption_modes: tuple[str, ...] = CORRUPTION_MODES,
+    durability: str = "fsync",
     progress: Callable[[str], None] | None = None,
 ) -> CrashReport:
     """Run the full crash/corruption battery; returns a byte-stable report."""
@@ -216,6 +217,7 @@ def run_crash_cycles(
                         workdir,
                         snapshot_every=snapshot_every,
                         barrier=injector,
+                        durability=durability,
                     )
                 except SimulatedCrash:
                     crashed = True
@@ -225,7 +227,11 @@ def run_crash_cycles(
                 identical = False
                 if crashed:
                     outcome, info = recover_and_continue(
-                        scenario, seed, workdir, snapshot_every=snapshot_every
+                        scenario,
+                        seed,
+                        workdir,
+                        snapshot_every=snapshot_every,
+                        durability=durability,
                     )
                     recovered = True
                     info_dict = info.to_dict()
@@ -253,7 +259,11 @@ def run_crash_cycles(
             workdir = tempfile.mkdtemp(prefix="repro-crash-")
             try:
                 run = JournaledRun(
-                    scenario, seed, workdir, snapshot_every=snapshot_every
+                    scenario,
+                    seed,
+                    workdir,
+                    snapshot_every=snapshot_every,
+                    durability=durability,
                 )
                 run.run()
                 offset = corrupt_journal(run.journal_path, mode)
@@ -263,7 +273,11 @@ def run_crash_cycles(
                 identical = False
                 try:
                     outcome, info = recover_and_continue(
-                        scenario, seed, workdir, snapshot_every=snapshot_every
+                        scenario,
+                        seed,
+                        workdir,
+                        snapshot_every=snapshot_every,
+                        durability=durability,
                     )
                 except (JournalCorruption, RecoveryError) as exc:
                     outcome_kind = "refused"

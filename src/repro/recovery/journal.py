@@ -31,6 +31,8 @@ import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.iofaults.layer import active_io
+
 MAGIC = b"RJRN"
 FORMAT_VERSION = 1
 HEADER = MAGIC + struct.pack("<I", FORMAT_VERSION)
@@ -38,6 +40,11 @@ _FRAME = struct.Struct("<II")
 #: Upper bound on one record's payload; a corrupt length field beyond it
 #: is reported as corruption instead of attempting a huge allocation.
 MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+#: ``fsync`` hardens every record-commit boundary against power loss;
+#: ``flush`` only defends against process death (for sim-only hot paths
+#: where the journal is telemetry, not the source of truth).
+DURABILITY_MODES = ("fsync", "flush")
 
 
 class JournalCorruption(Exception):
@@ -58,35 +65,67 @@ def encode_record(record: dict) -> bytes:
 
 
 class JournalWriter:
-    """Appender for one journal file; flushes after every record.
+    """Appender for one journal file; commits after every record.
 
     Creating a writer on a missing/empty path writes the file header; on
     an existing journal it appends after the current end.  The caller is
     responsible for validating an existing file first (recovery does,
     truncating any torn tail) — the writer never reads.
+
+    ``durability="fsync"`` (the default) fsyncs every record-commit
+    boundary, so an acknowledged append survives power loss, not just
+    process death.  ``"flush"`` skips the fsync for hot paths whose
+    journal is an observability artifact rather than the source of
+    truth.  ``label`` prefixes the IO-point names (``journal.append``,
+    ``sweep-journal.fsync``, ...) so fault schedules can target one
+    journal without touching another.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        durability: str = "fsync",
+        label: str = "journal",
+        io=None,
+    ) -> None:
+        if durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"unknown durability {durability!r}; "
+                f"expected one of {DURABILITY_MODES}"
+            )
         self.path = Path(path)
+        self.durability = durability
+        self.label = label
+        self._io = io or active_io()
         fresh = not self.path.exists() or self.path.stat().st_size == 0
-        self._fh = open(self.path, "ab")
+        self._handle = self._io.open_append(self.path, point=f"{label}.open")
         if fresh:
-            self._fh.write(HEADER)
-            self._fh.flush()
+            self._io.write(self._handle, HEADER, point=f"{label}.header")
+            self._commit()
         self.records_written = 0
+
+    def _commit(self) -> None:
+        """One record-commit boundary: flush, and harden if configured."""
+        if self.durability == "fsync":
+            self._io.fsync(self._handle, point=f"{self.label}.fsync")
+        else:
+            self._io.flush(self._handle, point=f"{self.label}.flush")
 
     def append(self, record: dict) -> int:
         """Durably append one record; returns its byte offset."""
-        offset = self._fh.tell()
-        self._fh.write(encode_record(record))
-        self._fh.flush()
+        offset = self._io.tell(self._handle)
+        self._io.write(
+            self._handle, encode_record(record), point=f"{self.label}.append"
+        )
+        self._commit()
         self.records_written += 1
         return offset
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.flush()
-            self._fh.close()
+        if not self._handle.closed:
+            self._commit()
+            self._io.close(self._handle)
 
     def __enter__(self) -> "JournalWriter":
         return self
@@ -113,17 +152,33 @@ class JournalScan:
         return self.truncated_at is not None
 
 
-def read_journal(path: str | Path) -> JournalScan:
+def read_journal(
+    path: str | Path, *, io=None, label: str = "journal"
+) -> JournalScan:
     """Scan a journal; tolerate a torn tail, raise on interior damage.
 
     The tail rule: a frame that is incomplete, oversized, CRC-bad, or
     unparseable is a *torn tail* if and only if it is the last thing in
     the file; the same damage followed by further bytes means the middle
     of history changed underneath us → :class:`JournalCorruption`.
+
+    An empty file or a strict prefix of the header is also a torn tail:
+    power loss before the header hardened leaves exactly that, and
+    truncate-and-continue lets a fresh writer lay the header down again.
     """
     path = Path(path)
-    data = path.read_bytes()
-    if len(data) < len(HEADER) or data[: len(MAGIC)] != MAGIC:
+    io = io or active_io()
+    data = io.read_bytes(path, point=f"{label}.read")
+    if len(data) < len(HEADER):
+        if data == HEADER[: len(data)]:
+            scan = JournalScan(path=str(path), valid_end=0)
+            scan.truncated_at = 0
+            scan.truncated_reason = (
+                "empty file" if not data else "incomplete file header"
+            )
+            return scan
+        raise JournalCorruption(0, "missing or damaged file header")
+    if data[: len(MAGIC)] != MAGIC:
         raise JournalCorruption(0, "missing or damaged file header")
     (version,) = struct.unpack_from("<I", data, len(MAGIC))
     if version != FORMAT_VERSION:
@@ -167,7 +222,9 @@ def read_journal(path: str | Path) -> JournalScan:
     return scan
 
 
-def truncate_torn_tail(path: str | Path, scan: JournalScan) -> int:
+def truncate_torn_tail(
+    path: str | Path, scan: JournalScan, *, io=None, label: str = "journal"
+) -> int:
     """Physically drop a torn tail; returns the number of bytes removed.
 
     No-op (returns 0) when the scan found the file clean.
@@ -175,7 +232,7 @@ def truncate_torn_tail(path: str | Path, scan: JournalScan) -> int:
     path = Path(path)
     if not scan.torn:
         return 0
+    io = io or active_io()
     size = path.stat().st_size
-    with open(path, "r+b") as fh:
-        fh.truncate(scan.valid_end)
+    io.truncate(path, scan.valid_end, point=f"{label}.truncate")
     return size - scan.valid_end

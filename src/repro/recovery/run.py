@@ -130,6 +130,7 @@ class JournaledRun:
         *,
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
         barrier: Barrier | None = None,
+        durability: str = "fsync",
     ) -> None:
         self.scenario = scenario
         self.seed = seed
@@ -137,6 +138,7 @@ class JournaledRun:
         self.run_dir.mkdir(parents=True, exist_ok=True)
         self.snapshot_every = snapshot_every
         self.barrier = barrier
+        self.durability = durability
         self.journal_path = self.run_dir / "journal.wal"
         self.snapshots = SnapshotStore(self.run_dir / "snapshots")
         self.ops = workload_ops(scenario, seed)
@@ -381,7 +383,9 @@ class JournaledRun:
         self._setup()
         self._expected = []
         self._cursor = 0
-        self._writer = JournalWriter(self.journal_path)
+        self._writer = JournalWriter(
+            self.journal_path, durability=self.durability
+        )
         try:
             for i, op in enumerate(self.ops):
                 self._execute_op(i, op)
@@ -414,7 +418,9 @@ class JournaledRun:
             resume_from = 0
         self._expected = self._suffix(scan, resume_from)
         self._cursor = 0
-        self._writer = JournalWriter(self.journal_path)
+        self._writer = JournalWriter(
+            self.journal_path, durability=self.durability
+        )
         try:
             for i in range(resume_from, len(self.ops)):
                 self._execute_op(i, self.ops[i])
@@ -514,6 +520,7 @@ def run_journaled(
     *,
     snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
     barrier: Barrier | None = None,
+    durability: str = "fsync",
 ) -> ReplayOutcome:
     """Execute one seeded workload crash-consistently under ``run_dir``."""
     return JournaledRun(
@@ -522,6 +529,7 @@ def run_journaled(
         run_dir,
         snapshot_every=snapshot_every,
         barrier=barrier,
+        durability=durability,
     ).run()
 
 
@@ -532,6 +540,7 @@ def recover_and_continue(
     *,
     snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
     barrier: Barrier | None = None,
+    durability: str = "fsync",
 ) -> tuple[ReplayOutcome, RecoveryInfo]:
     """Recover a crashed run under ``run_dir`` and drive it to completion."""
     return JournaledRun(
@@ -540,4 +549,5 @@ def recover_and_continue(
         run_dir,
         snapshot_every=snapshot_every,
         barrier=barrier,
+        durability=durability,
     ).recover()

@@ -3,10 +3,12 @@
 A snapshot is one JSON document carrying the full recoverable state of a
 control plane at an op boundary, wrapped with a CRC32 of its canonical
 body so a damaged file is *skipped*, never half-loaded.  Commits are
-atomic: the document is written to a ``.tmp`` sibling and ``os.replace``d
-into place, so a crash mid-write leaves either the previous snapshot
-set intact or an ignorable temp file — never a torn snapshot under the
-final name.
+atomic and power-safe: the document is written to a ``.tmp`` sibling,
+fsynced, ``os.replace``d into place, and the parent directory fsynced —
+so a crash or power cut anywhere leaves either the previous snapshot
+set intact or an ignorable temp file, never a torn snapshot under the
+final name.  All IO routes through :mod:`repro.iofaults.layer` under the
+``snapshot.*`` point names.
 
 RNG capture: ``numpy``'s ``Generator`` exposes its bit-generator state
 as a JSON-able dict, so seeded streams can be frozen into a snapshot and
@@ -17,11 +19,12 @@ exact numbers the uninterrupted one would have.
 from __future__ import annotations
 
 import json
-import os
 import zlib
 from pathlib import Path
 
 import numpy as np
+
+from repro.iofaults.layer import active_io
 
 SNAPSHOT_FORMAT = 1
 _PREFIX = "snap-"
@@ -48,12 +51,15 @@ def _body_bytes(state: dict) -> bytes:
 class SnapshotStore:
     """Numbered snapshots in one directory, newest-valid-wins on load."""
 
-    def __init__(self, directory: str | Path, *, keep: int = 3) -> None:
+    def __init__(
+        self, directory: str | Path, *, keep: int = 3, io=None
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         if keep < 1:
             raise ValueError("must keep at least one snapshot")
         self.keep = keep
+        self._io = io
 
     def _path(self, op_index: int) -> Path:
         return self.directory / f"{_PREFIX}{op_index:08d}{_SUFFIX}"
@@ -74,13 +80,20 @@ class SnapshotStore:
         }
         path = self._path(op_index)
         tmp = path.with_suffix(".tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(document, fh, sort_keys=True, separators=(",", ":"))
-            fh.flush()
-            os.fsync(fh.fileno())
+        io = self._io or active_io()
+        payload = json.dumps(
+            document, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        handle = io.open_write(tmp, point="snapshot.write")
+        try:
+            io.write(handle, payload, point="snapshot.write")
+            io.fsync(handle, point="snapshot.fsync")
+        finally:
+            io.close(handle)
         if barrier is not None:
             barrier("mid-snapshot")
-        os.replace(tmp, path)
+        io.replace(tmp, path, point="snapshot.rename")
+        io.fsync_dir(self.directory, point="snapshot.dirsync")
         self._prune()
         return path
 
@@ -99,10 +112,13 @@ class SnapshotStore:
         candidates = sorted(
             self.directory.glob(f"{_PREFIX}*{_SUFFIX}"), reverse=True
         )
+        io = self._io or active_io()
         for path in candidates:
             try:
-                document = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
+                document = json.loads(
+                    io.read_bytes(path, point="snapshot.read").decode("utf-8")
+                )
+            except (OSError, UnicodeDecodeError, json.JSONDecodeError):
                 continue
             if not isinstance(document, dict):
                 continue

@@ -29,11 +29,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from difflib import unified_diff
 from pathlib import Path
 from typing import Protocol, runtime_checkable
+
+from repro.iofaults.layer import atomic_write_bytes
 
 
 @runtime_checkable
@@ -89,28 +89,18 @@ def report_diff(
 
 
 def write_report(report: Report, path: str | Path) -> Path:
-    """Write canonical bytes with an atomic replace; returns the path.
+    """Write canonical bytes with a power-safe atomic replace.
 
-    The temp-file + ``os.replace`` dance means a crash mid-write leaves
-    either the old artifact or the new one, never a torn file — the same
-    guarantee the snapshot store gives the control plane.
+    Routed through :func:`repro.iofaults.layer.atomic_write_bytes`
+    (IO points ``report.*``): temp file, fsync, ``os.replace``, parent
+    directory fsync — a crash *or power cut* mid-write leaves either the
+    old artifact or the complete new one, never a torn file, and any
+    failure surfaces as a structured
+    :class:`~repro.iofaults.layer.IoFaultError`.
     """
-    path = Path(path)
-    data = canonical_bytes(report)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=f".{path.name}.", dir=path.parent or Path(".")
+    return atomic_write_bytes(
+        Path(path), canonical_bytes(report), points="report"
     )
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            fh.write(data)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except FileNotFoundError:
-            pass
-        raise
-    return path
 
 
 class ReportBase:

@@ -161,13 +161,13 @@ def load_resume(
     if not path.exists() or path.stat().st_size == 0:
         return {}
     try:
-        scan = read_journal(path)
+        scan = read_journal(path, label="sweep-journal")
     except JournalCorruption as exc:
         raise SweepResumeError(
             f"sweep journal {path} is corrupt: {exc}"
         ) from exc
     if scan.torn:
-        truncate_torn_tail(path, scan)
+        truncate_torn_tail(path, scan, label="sweep-journal")
     if not scan.records:
         return {}
     _, header = scan.records[0]
@@ -220,7 +220,7 @@ def run_sweep(
     journal: JournalWriter | None = None
     if journal_path is not None:
         completed = load_resume(journal_path, grid)
-        journal = JournalWriter(journal_path)
+        journal = JournalWriter(journal_path, label="sweep-journal")
         if not completed and journal.path.stat().st_size <= 8:
             journal.append(
                 {"type": _HEADER_TYPE, "format": 1, "grid_sha256": grid.sha256}

@@ -28,6 +28,7 @@ import math
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.iofaults.layer import active_io, atomic_write_bytes
 from repro.scheduler.config import SchedulerConfig
 from repro.verify.oracle import replay_workload, workload_ops
 from repro.verify.scenarios import VerifyScenario
@@ -138,22 +139,27 @@ def read_golden_text(path: Path) -> str | None:
     Prefers the compressed file at ``path``; falls back to a legacy
     uncompressed sibling.  Returns None when neither exists.
     """
+    io = active_io()
     if path.exists():
-        return gzip.decompress(path.read_bytes()).decode("utf-8")
+        data = io.read_bytes(path, point="golden.read")
+        return gzip.decompress(data).decode("utf-8")
     legacy = _legacy_path(path)
     if legacy.exists():
-        return legacy.read_text()
+        return io.read_bytes(legacy, point="golden.read").decode("utf-8")
     return None
 
 
 def write_golden_text(path: Path, text: str) -> None:
-    """Store a golden compressed, byte-stably (fixed mtime), atomically-ish.
+    """Store a golden compressed, byte-stably (fixed mtime), atomically.
 
-    A leftover legacy ``.json`` sibling is removed so the store never
-    holds two divergent copies of the same golden.
+    Committed through :func:`repro.iofaults.layer.atomic_write_bytes`
+    (IO points ``golden.*``) — fsynced temp file, rename, directory
+    fsync — so an interrupted ``--update-goldens`` can never leave a
+    torn golden.  A leftover legacy ``.json`` sibling is removed so the
+    store never holds two divergent copies of the same golden.
     """
-    path.write_bytes(
-        gzip.compress(text.encode("utf-8"), mtime=0)
+    atomic_write_bytes(
+        path, gzip.compress(text.encode("utf-8"), mtime=0), points="golden"
     )
     legacy = _legacy_path(path)
     if legacy.exists():

@@ -27,6 +27,10 @@ Checks:
     byte-identical reports.
 ``goldens``
     Golden-trace regression against ``tests/goldens/``.
+``iofaults``
+    Durability torture: seeded storage-fault × crash schedules against
+    every persistent artifact; each must end in byte-identical recovery
+    or a structured ``IoFaultError`` naming its IO point.
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ ALL_CHECKS = (
     "determinism_chaos",
     "sweep",
     "goldens",
+    "iofaults",
 )
 
 #: First verification seed; ``--seeds N`` runs seeds BASE_SEED..BASE_SEED+N-1.
@@ -341,6 +346,37 @@ def _check_goldens(
     )
 
 
+def _check_iofaults(scenario: VerifyScenario, seed: int) -> CheckOutcome:
+    """The storage layer's durability contract, held by torture.
+
+    A small seeded battery (always the tiny workload — the contract is
+    about the storage layer, not scenario scale) of IO-fault × crash
+    schedules against every persistent artifact; any torn artifact,
+    lost-but-acked state, or unstructured error fails the check.
+    """
+    from repro.iofaults.torture import TortureConfig, run_torture
+
+    report = run_torture(
+        TortureConfig(scenario="tiny", seeds=(seed,), schedules=10)
+    )
+    failed = [case for case in report.cases if not case.ok]
+    fired = sum(1 for case in report.cases if case.fired)
+    return CheckOutcome(
+        check="iofaults",
+        scenario=scenario.name,
+        seed=seed,
+        ok=report.ok,
+        summary=(
+            f"{len(report.cases)} fault schedules ({fired} fired): "
+            "byte-identical recovery or structured IoFaultError"
+            if report.ok
+            else f"{len(failed)} schedules violated the durability "
+            f"contract (first: {failed[0].artifact} #{failed[0].index} "
+            f"{failed[0].outcome})"
+        ),
+    )
+
+
 def run_verify(config: VerifyConfig, progress=None) -> VerifyReport:
     """Run every selected check for every seed; never raises on divergence.
 
@@ -379,4 +415,6 @@ def run_verify(config: VerifyConfig, progress=None) -> VerifyReport:
                         config.update_goldens,
                     )
                 )
+            elif check == "iofaults":
+                outcomes.append(_check_iofaults(scenario, seed))
     return VerifyReport(config=config, outcomes=outcomes)

@@ -149,3 +149,22 @@ class TestSweepStage:
         results["sweep_failed_shards"] = 2
         problems = check_results({"results": results})
         assert problems == ["sweep bench had 2 failed shards"]
+
+
+class TestJournalStage:
+    def test_journal_throughput_keys(self):
+        from repro.bench import BenchConfig, bench_journal
+
+        results = bench_journal(
+            BenchConfig(journal_records=50)
+        )
+        assert results["journal_records"] == 50
+        assert results["journal_append_per_s_fsync"] > 0
+        assert results["journal_append_per_s_flush"] > 0
+        # Skipping the per-record fsync should never make appends slower;
+        # the loose bound tolerates hosts where fsync is nearly free
+        # (tmpfs, battery-backed caches) without flaking.
+        assert results["journal_flush_speedup_vs_fsync"] > 0.5
+
+    def test_fsync_throughput_is_a_required_artifact_key(self):
+        assert "journal_append_per_s_fsync" in REQUIRED_KEYS

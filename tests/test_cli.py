@@ -358,3 +358,121 @@ def test_crash_interrupt_exits_130(monkeypatch, capsys):
     monkeypatch.setattr(harness, "run_crash_cycles", boom)
     assert main(["crash", "--scenario", "tiny", "--json-only"]) == 130
     assert "mid-claim/op 37" in capsys.readouterr().err
+
+
+# -- repro torture ---------------------------------------------------------------
+
+
+def test_help_lists_torture_subcommand(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    assert "torture" in capsys.readouterr().out
+
+
+def test_torture_tiny_green_and_byte_stable(capsys, tmp_path):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    for out in (first, second):
+        code = main(
+            [
+                "torture", "--scenario", "tiny", "--seeds", "1",
+                "--schedules", "10", "--json-only", "--out", str(out),
+            ]
+        )
+        assert code == 0
+    assert first.read_bytes() == second.read_bytes()
+    report = json.loads(first.read_text())
+    assert report["ok"] is True
+    assert {c["artifact"] for c in report["cases"]} == {
+        "wal", "snapshot", "report", "golden", "sweep-journal",
+    }
+    # Byte-stable means no filesystem paths leak into case details.
+    assert "/tmp" not in first.read_text()
+
+
+def test_torture_unknown_scenario_exits_2(capsys):
+    err = _run_expecting_exit_2(["torture", "--scenario", "wat"], capsys)
+    assert "unknown scenario" in err
+
+
+def test_torture_bad_schedules_exits_2(capsys):
+    err = _run_expecting_exit_2(["torture", "--schedules", "0"], capsys)
+    assert "--schedules" in err
+
+
+def test_torture_interrupt_exits_130(monkeypatch, capsys):
+    from repro.iofaults import torture
+
+    def boom(config, progress=None):
+        if progress is not None:
+            progress("seed 7: schedule 3/15 (snapshot)")
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(torture, "run_torture", boom)
+    code = main(["torture", "--json-only"])
+    _assert_interrupted(code, capsys, "torture")
+
+
+# -- unwritable --out: exit 2 with one line, like a malformed --config -----------
+
+
+@pytest.fixture
+def blocked_out(tmp_path):
+    """An --out path whose parent is a regular file: every write fails."""
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")
+    return str(blocker / "report.json")
+
+
+def test_torture_out_unwritable_exits_2(blocked_out, capsys):
+    err = _run_expecting_exit_2(
+        [
+            "torture", "--seeds", "1", "--schedules", "2",
+            "--json-only", "--out", blocked_out,
+        ],
+        capsys,
+    )
+    assert "--out" in err and blocked_out in err
+
+
+def test_faults_out_unwritable_exits_2(blocked_out, capsys):
+    # faults has no --json-only, so scenario progress precedes the error:
+    # assert on the final stderr line rather than the whole stream.
+    with pytest.raises(SystemExit) as exc:
+        main(
+            [
+                "faults", "--days", "0.05", "--initial-vms", "20",
+                "--arrival-rate", "2", "--out", blocked_out,
+            ]
+        )
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "Traceback" not in err
+    last = err.rstrip("\n").splitlines()[-1]
+    assert last.startswith("repro: faults --out")
+    assert blocked_out in last
+
+
+def test_generate_out_unwritable_exits_2(tmp_path, capsys):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")
+    with pytest.raises(SystemExit) as exc:
+        main(
+            [
+                "generate", "--out", str(blocker / "ds"),
+                "--scale", "0.01", "--days", "1", "--sampling", "21600",
+            ]
+        )
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "Traceback" not in err
+    last = err.rstrip("\n").splitlines()[-1]
+    assert last.startswith("repro: generate --out")
+
+
+def test_chaos_journal_unwritable_exits_2(blocked_out, capsys):
+    err = _run_expecting_exit_2(
+        ["chaos", "--days", "0.05", "--json-only", "--journal", blocked_out],
+        capsys,
+    )
+    assert "--journal" in err and blocked_out in err

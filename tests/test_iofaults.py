@@ -1,0 +1,323 @@
+"""Tests for the storage-fault layer (`repro.iofaults`) and torture harness.
+
+Covers the FaultSpec/IoFaultError contracts, every fault kind's observable
+behaviour on the fake disk (including the power-loss model: lying fsyncs,
+torn renames, rollback on power cut), the named-IO-point routing of the
+journal and report writers, the durability torture harness itself (ok,
+byte-stable, path-free), and the hypothesis properties from the issue:
+journal recovery under EIO-at-any-read-offset and
+short-write-at-any-append either replays a verified prefix or raises a
+structured IoFaultError — never a raw traceback, never a torn artifact
+that later parses.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.iofaults import (
+    FAULT_KINDS,
+    ARTIFACTS,
+    FaultSpec,
+    FaultyIO,
+    IoFaultError,
+    RealIO,
+    TortureConfig,
+    active_io,
+    atomic_write_bytes,
+    inject,
+    run_torture,
+)
+from repro.recovery.journal import (
+    JournalWriter,
+    read_journal,
+    truncate_torn_tail,
+)
+
+RECORDS = [
+    {"t": "op", "i": 0, "op": "create", "vm": "a", "host": "bb-1"},
+    {"t": "claim", "i": 1, "vm": "b", "amounts": {"vcpus": 4.0}},
+    {"t": "op", "i": 2, "op": "delete", "vm": "a"},
+]
+
+
+def _write_journal(path, records, io=None, durability="fsync"):
+    writer = JournalWriter(path, durability=durability, io=io)
+    try:
+        for record in records:
+            writer.append(record)
+    finally:
+        writer.close()
+
+
+# -- FaultSpec / IoFaultError contracts -------------------------------------------
+
+
+class TestSpecs:
+    def test_fault_kinds_are_closed_set(self):
+        assert FaultSpec(point="journal.append", kind="enospc").kind == "enospc"
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(point="journal.append", kind="disk-on-fire")
+        with pytest.raises(ValueError, match="op_index"):
+            FaultSpec(point="journal.append", op_index=-1)
+
+    def test_error_is_oserror_with_structured_fields(self):
+        io = FaultyIO([FaultSpec(point="p.write", kind="enospc")])
+        handle = io.open_write("/dev/null", point="p.open")
+        with pytest.raises(IoFaultError) as err:
+            io.write(handle, b"x", point="p.write")
+        io.close(handle)
+        exc = err.value
+        assert isinstance(exc, OSError)
+        assert exc.point == "p.write"
+        assert exc.kind == "enospc"
+        assert exc.injected is True
+        assert "injected enospc at IO point 'p.write'" in str(exc)
+
+    def test_real_oserror_is_wrapped_not_injected(self):
+        with pytest.raises(IoFaultError) as err:
+            RealIO().read_bytes("/no/such/file/anywhere", point="golden.read")
+        assert err.value.injected is False
+        assert err.value.kind == "enoent"
+        assert err.value.point == "golden.read"
+
+    def test_spec_round_trips_to_dict(self):
+        spec = FaultSpec(point="journal.append", kind="short-write", at_byte=3)
+        assert spec.to_dict() == {
+            "point": "journal.append",
+            "op_index": 0,
+            "kind": "short-write",
+            "at_byte": 3,
+        }
+
+
+# -- fault behaviours on the fake disk --------------------------------------------
+
+
+class TestFaultyIO:
+    def test_unmatched_points_pass_through(self, tmp_path):
+        io = FaultyIO([FaultSpec(point="other.write", kind="eio-write")])
+        _write_journal(tmp_path / "j.wal", RECORDS, io=io)
+        scan = read_journal(tmp_path / "j.wal")
+        assert [r for _, r in scan.records] == RECORDS
+        assert io.fired == []
+
+    def test_op_index_counts_per_point(self, tmp_path):
+        io = FaultyIO([FaultSpec(point="journal.append", op_index=2,
+                                 kind="eio-write")])
+        writer = JournalWriter(tmp_path / "j.wal", io=io)
+        writer.append(RECORDS[0])
+        writer.append(RECORDS[1])
+        with pytest.raises(IoFaultError):
+            writer.append(RECORDS[2])
+        writer.close()
+        assert io.fired == ["eio-write@journal.append"]
+        # The two acknowledged records survived; the failed one left no
+        # trace a reader would mistake for a frame.
+        scan = read_journal(tmp_path / "j.wal")
+        assert [r for _, r in scan.records] == RECORDS[:2]
+
+    def test_short_write_leaves_torn_tail_not_corruption(self, tmp_path):
+        io = FaultyIO([FaultSpec(point="journal.append", op_index=1,
+                                 kind="short-write", at_byte=5)])
+        writer = JournalWriter(tmp_path / "j.wal", io=io)
+        writer.append(RECORDS[0])
+        with pytest.raises(IoFaultError, match="short-write"):
+            writer.append(RECORDS[1])
+        writer.close()
+        scan = read_journal(tmp_path / "j.wal")
+        assert scan.torn
+        assert [r for _, r in scan.records] == RECORDS[:1]
+        truncate_torn_tail(tmp_path / "j.wal", scan)
+        assert not read_journal(tmp_path / "j.wal").torn
+
+    def test_fsync_lie_loses_acked_tail_on_power_cut(self, tmp_path):
+        # Every fsync after the first lie keeps lying: a write cache that
+        # ignores FLUSH does not recover honesty at close().
+        io = FaultyIO([FaultSpec(point="journal.fsync", op_index=2,
+                                 kind="fsync-lie")])
+        _write_journal(tmp_path / "j.wal", RECORDS, io=io)
+        assert io.fired == ["fsync-lie@journal.fsync"]
+        io.power_cut()
+        scan = read_journal(tmp_path / "j.wal")
+        # op_index 0 is the header fsync; record 0 hardened at op 1; the
+        # lie ate records 1 and 2 even though append() acknowledged them.
+        assert [r for _, r in scan.records] == RECORDS[:1]
+        # The surviving file is a clean journal, not a corrupt one: a
+        # fresh writer appends where the durable prefix ends.
+        _write_journal(tmp_path / "j.wal", [RECORDS[2]])
+        scan = read_journal(tmp_path / "j.wal")
+        assert [r for _, r in scan.records] == [RECORDS[0], RECORDS[2]]
+
+    def test_flush_durability_survives_process_death_only(self, tmp_path):
+        io = FaultyIO()
+        _write_journal(tmp_path / "j.wal", RECORDS, io=io, durability="flush")
+        assert io.counts.get("journal.flush", 0) > 0
+        assert "journal.fsync" not in io.counts
+        # Process death: everything flushed is on disk ...
+        assert [r for _, r in read_journal(tmp_path / "j.wal").records] == RECORDS
+        # ... but power loss eats it all: nothing was ever fsynced.
+        io.power_cut()
+        assert read_journal(tmp_path / "j.wal").valid_end == 0
+
+    def test_rename_lost_rolls_back_to_old_bytes(self, tmp_path):
+        target = tmp_path / "report.json"
+        atomic_write_bytes(target, b"old\n", points="report")
+        io = FaultyIO([FaultSpec(point="report.rename", kind="rename-lost")])
+        atomic_write_bytes(target, b"new\n", points="report", io=io)
+        assert target.read_bytes() == b"new\n"
+        io.power_cut()
+        assert target.read_bytes() == b"old\n"
+
+    def test_enospc_on_write_leaves_old_artifact_and_no_temp(self, tmp_path):
+        target = tmp_path / "report.json"
+        atomic_write_bytes(target, b"old\n", points="report")
+        io = FaultyIO([FaultSpec(point="report.write", op_index=1,
+                                 kind="enospc")])
+        with pytest.raises(IoFaultError, match="enospc"):
+            atomic_write_bytes(target, b"new\n", points="report", io=io)
+        assert target.read_bytes() == b"old\n"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_power_cut_reports_affected_paths(self, tmp_path):
+        io = FaultyIO([FaultSpec(point="journal.fsync", op_index=1,
+                                 kind="fsync-lie")])
+        _write_journal(tmp_path / "j.wal", RECORDS, io=io)
+        affected = io.power_cut()
+        assert str(tmp_path / "j.wal") in affected
+
+
+# -- ambient injection ------------------------------------------------------------
+
+
+class TestInjection:
+    def test_active_io_defaults_to_real_and_scopes_to_context(self):
+        baseline = active_io()
+        faulty = FaultyIO()
+        with inject(faulty):
+            assert active_io() is faulty
+        assert active_io() is baseline
+
+    def test_report_writer_routes_through_named_points(self, tmp_path):
+        from repro.reporting import write_report
+        from repro.verify.goldens import read_golden_text, write_golden_text
+
+        io = FaultyIO()
+        with inject(io):
+            write_report(_Toy(), tmp_path / "r.json")
+        for point in ("report.write", "report.fsync",
+                      "report.rename", "report.dirsync"):
+            assert io.counts.get(point, 0) >= 1, point
+        golden = tmp_path / "trace.golden.gz"
+        write_golden_text(golden, "trace\n")
+        faulty = FaultyIO([FaultSpec(point="golden.read", kind="eio-read")])
+        with inject(faulty), pytest.raises(IoFaultError) as err:
+            read_golden_text(golden)
+        assert err.value.point == "golden.read"
+        assert err.value.kind == "eio-read"
+
+
+class _Toy:
+    def to_dict(self):
+        return {"v": 1}
+
+
+# -- torture harness --------------------------------------------------------------
+
+
+class TestTorture:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="schedules"):
+            TortureConfig(schedules=0)
+        with pytest.raises(ValueError, match="durability"):
+            TortureConfig(durability="wishful")
+
+    def test_default_schedule_is_green_and_byte_stable(self):
+        config = TortureConfig(seeds=(7,), schedules=10)
+        first = run_torture(config)
+        second = run_torture(config)
+        assert first.ok, first.render()
+        assert first.canonical_bytes() == second.canonical_bytes()
+        payload = first.canonical_json()
+        assert "/tmp" not in payload
+        assert "repro-torture" not in payload
+        # Every artifact family and at least one fired fault is exercised.
+        assert {c.artifact for c in first.cases} == set(ARTIFACTS)
+        assert any(c.fired for c in first.cases)
+        parsed = json.loads(payload)
+        assert set(parsed["outcomes"]) <= {
+            "recovered-identical", "intact-old", "intact-new",
+            "intact-prefix", "structured-error",
+        }
+
+    def test_kinds_catalogue_is_what_the_docs_say(self):
+        assert FAULT_KINDS == (
+            "enospc", "eio-read", "eio-write", "short-write",
+            "fsync-fail", "fsync-lie", "rename-fail", "rename-lost",
+        )
+
+
+# -- the headline properties ------------------------------------------------------
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_journal_read_under_eio_at_any_offset(data, tmp_path):
+    """EIO on the recovery read is always a structured IoFaultError."""
+    path = tmp_path / f"j{data.draw(st.integers(0, 10**6), label='id')}.wal"
+    _write_journal(path, RECORDS)
+    io = FaultyIO([FaultSpec(point="journal.read", kind="eio-read")])
+    with pytest.raises(IoFaultError) as err:
+        read_journal(path, io=io)
+    assert err.value.kind == "eio-read"
+    # The file itself is untouched; a fault-free retry sees everything.
+    assert [r for _, r in read_journal(path).records] == RECORDS
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_append_faults_leave_verified_prefix_or_structured_error(data, tmp_path):
+    """Any write fault at any append offset: the journal that remains is a
+    verified prefix of what was acknowledged plus at most a torn tail —
+    recovery never sees invented records and never raises raw."""
+    op_index = data.draw(st.integers(min_value=0, max_value=6), label="op")
+    kind = data.draw(
+        st.sampled_from(("enospc", "eio-write", "short-write")), label="kind"
+    )
+    at_byte = (
+        data.draw(st.integers(min_value=1, max_value=16), label="cut")
+        if kind == "short-write"
+        else None
+    )
+    path = tmp_path / f"j{op_index}-{kind}-{at_byte}.wal"
+    records = [{"t": "op", "i": i, "v": "x" * (i % 7)} for i in range(6)]
+    io = FaultyIO([FaultSpec(point="journal.append", op_index=op_index,
+                             kind=kind, at_byte=at_byte)])
+    acked: list[dict] = []
+    writer = JournalWriter(path, io=io)
+    try:
+        for record in records:
+            writer.append(record)
+            acked.append(record)
+    except OSError as exc:
+        assert isinstance(exc, IoFaultError), repr(exc)
+    finally:
+        writer.close()
+    scan = read_journal(path)
+    recovered = [r for _, r in scan.records]
+    assert recovered[: len(acked)] == acked
+    assert recovered == records[: len(recovered)]
+    if scan.torn:
+        truncate_torn_tail(path, scan)
+        assert not read_journal(path).torn

@@ -255,6 +255,17 @@ def test_run_verify_determinism_checks():
     }
 
 
+def test_run_verify_iofaults_check():
+    config = VerifyConfig(scenario="tiny", seeds=(7,), checks=("iofaults",))
+    report = run_verify(config)
+    assert report.ok, report.render()
+    outcome = report.outcomes[0]
+    assert outcome.check == "iofaults"
+    assert "fault schedules" in outcome.summary
+    # Deterministic like every other check: same config, same bytes.
+    assert report.to_json() == run_verify(config).to_json()
+
+
 def test_run_verify_inject_desync_fails():
     config = VerifyConfig(
         scenario="tiny", seeds=(7,), checks=("oracle",), inject_desync=True
