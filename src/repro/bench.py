@@ -247,35 +247,80 @@ def bench_drs(config: BenchConfig) -> dict:
     return {"drs_round_latency_s": time.perf_counter() - t0}
 
 
+def _sim_digest(result) -> tuple:
+    """Everything the two scrape paths must agree on, byte for byte."""
+    return (
+        {vm_id: vm.node_id for vm_id, vm in result.vms.items()},
+        result.created,
+        result.deleted,
+        result.rejected,
+        result.resized,
+        result.drs_migrations,
+        result.events_processed,
+        dict(result.scheduler_stats),
+        result.store.sample_count(),
+        result.store.content_fingerprint(),
+    )
+
+
 def bench_sim(config: BenchConfig) -> dict:
-    """Seeded end-to-end regional run: wall time, events, samples."""
+    """Seeded end-to-end regional run: columnar vs legacy scrape path.
+
+    The columnar run (stage profiler on) is the primary timing; a legacy
+    per-sample run at identical config/seed provides the in-run
+    ``sim_scrape_speedup_vs_legacy`` ratio and the byte-identity check
+    (``sim_paths_identical``: placements, counters, scheduler stats, and
+    the telemetry store's content fingerprint).
+    """
     from repro.simulation.runner import RegionSimulation, SimulationConfig
 
     spec = paper_region_spec(scale=config.sim_scale)
-    t0 = time.perf_counter()
-    sim = RegionSimulation(
-        spec,
-        SimulationConfig(
-            duration_days=config.sim_days,
-            initial_vms=config.sim_initial_vms,
-            arrival_rate_per_hour=config.sim_arrival_rate_per_hour,
-            seed=config.sim_seed,
-        ),
+
+    def one_run(scrape_path: str, profile: bool):
+        t0 = time.perf_counter()
+        sim = RegionSimulation(
+            spec,
+            SimulationConfig(
+                duration_days=config.sim_days,
+                initial_vms=config.sim_initial_vms,
+                arrival_rate_per_hour=config.sim_arrival_rate_per_hour,
+                seed=config.sim_seed,
+                scrape_path=scrape_path,
+                profile_stages=profile,
+            ),
+        )
+        result = sim.run()
+        return time.perf_counter() - t0, result
+
+    fast_s, fast = one_run("columnar", True)
+    legacy_s, legacy = one_run("legacy", False)
+    stage_profile = fast.stage_profile or {}
+    scrape_s = (
+        stage_profile.get("demand_eval", 0.0)
+        + stage_profile.get("exporter_format", 0.0)
+        + stage_profile.get("ingest", 0.0)
     )
-    result = sim.run()
-    elapsed = time.perf_counter() - t0
+    samples = fast.store.sample_count()
     out = {
         "sim_days": config.sim_days,
-        "sim_wall_s": elapsed,
-        "sim_events": result.events_processed,
-        "sim_samples": result.store.sample_count(),
-        "sim_scheduler_stats": dict(result.scheduler_stats),
-        "sim_placement_stats": result.placement.stats(),
+        "sim_wall_s": fast_s,
+        "sim_wall_s_legacy": legacy_s,
+        "sim_scrape_speedup_vs_legacy": legacy_s / fast_s,
+        "sim_paths_identical": _sim_digest(fast) == _sim_digest(legacy),
+        "sim_events": fast.events_processed,
+        "sim_samples": samples,
+        "sim_scrape_samples_per_s": (
+            samples / scrape_s if scrape_s > 0 else 0.0
+        ),
+        "sim_profile": {k: round(v, 3) for k, v in stage_profile.items()},
+        "sim_scheduler_stats": dict(fast.scheduler_stats),
+        "sim_placement_stats": fast.placement.stats(),
     }
     if config.sim_days == 30.0:
         # Deprecated alias of sim_wall_s, kept one release for external
         # consumers of BENCH_scale.json; see the artifact's schema notes.
-        out["sim_30day_wall_s"] = elapsed
+        out["sim_30day_wall_s"] = fast_s
+        out["sim_speedup_vs_pre_pr"] = PRE_PR_BASELINE["sim_30day_wall_s"] / fast_s
     return out
 
 
@@ -411,10 +456,12 @@ def run_bench(config: BenchConfig | None = None, echo=None) -> dict:
 
 
 #: (key, minimum) bounds the CI smoke job enforces; in-run ratios only, so
-#: they hold on any host.
+#: they hold on any host.  Keys starting with ``sim_`` are enforced only
+#: when the sim stage actually ran (``sim_wall_s`` present).
 CHECK_BOUNDS = (
     ("schedule_speedup_vs_legacy", 1.5),
     ("ingest_block_speedup_vs_per_sample", 3.0),
+    ("sim_scrape_speedup_vs_legacy", 2.0),
 )
 
 #: Keys that must be present (and finite) in results for the artifact to
@@ -428,23 +475,56 @@ REQUIRED_KEYS = (
 )
 
 
-def check_results(payload: dict) -> list[str]:
-    """Non-regression check; returns a list of violations (empty = pass)."""
+def check_results(payload: dict, notes: list[str] | None = None) -> list[str]:
+    """Non-regression check; returns a list of violations (empty = pass).
+
+    ``notes``, when given, collects non-fatal explanations (e.g. which
+    asserts were skipped and why) so the CLI can surface them.
+    """
     problems: list[str] = []
     results = payload.get("results", {})
+    sim_ran = "sim_wall_s" in results
     for key in REQUIRED_KEYS:
         value = results.get(key)
         if value is None or not np.isfinite(value):
             problems.append(f"missing or non-finite result key: {key}")
     if not results.get("placements_identical", False):
         problems.append("indexed and legacy scheduling paths placed differently")
+    if sim_ran and not results.get("sim_paths_identical", False):
+        problems.append("columnar and legacy scrape paths diverged")
     if not results.get("sweep_reports_identical", True):
         problems.append("sweep reports differ between 1 and N workers")
     if results.get("sweep_failed_shards", 0):
         problems.append(
             f"sweep bench had {results['sweep_failed_shards']} failed shards"
         )
+    # Parallel-sweep throughput must beat single-worker — but only where the
+    # host can actually run workers concurrently.  On a 1-CPU box the ratio
+    # measures scheduler overhead, not the sweep engine, so the assert is
+    # skipped with an explicit note instead of failing dishonestly.
+    nw = results.get("sweep_scenarios_per_hour_nw")
+    one_w = results.get("sweep_scenarios_per_hour_1w")
+    if nw is not None and one_w is not None:
+        cpu_count = results.get("sweep_cpu_count", 1)
+        if cpu_count > 1:
+            if not (nw > one_w):
+                problems.append(
+                    f"sweep_scenarios_per_hour_nw = {nw:.2f} below required "
+                    f"minimum of sweep_scenarios_per_hour_1w = {one_w:.2f} "
+                    f"on {cpu_count} CPUs"
+                )
+        elif notes is not None:
+            notes.append(
+                "skipped sweep nw>1w throughput assert: "
+                f"sweep_cpu_count == {cpu_count} (no parallelism available)"
+            )
     for key, minimum in CHECK_BOUNDS:
+        if key.startswith("sim_") and not sim_ran:
+            if notes is not None:
+                notes.append(
+                    f"skipped bound {key} >= {minimum:.2f}: sim stage not run"
+                )
+            continue
         value = results.get(key, 0.0)
         if not (value >= minimum):
             problems.append(f"{key} = {value:.2f} below required {minimum:.2f}")

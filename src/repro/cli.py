@@ -57,9 +57,12 @@ Subcommands::
         structured failures; with --journal an interrupted sweep resumes
         without re-running completed cells.
 
-    repro bench [--smoke] [--check] [--out BENCH_scale.json]
+    repro bench [--smoke] [--check] [--profile] [--out BENCH_scale.json]
         Time the scheduling, telemetry-ingest, and simulation hot paths on
-        seeded workloads and write the perf artifact.
+        seeded workloads and write the perf artifact.  The simulation
+        stage runs the columnar scrape path against the legacy per-sample
+        path at the same seed and reports the speedup plus a byte-identity
+        verdict; --profile prints the per-stage wall-time breakdown.
 
     repro verify [--scenario NAME] [--seeds N] [--check NAME ...]
                  [--update-goldens] [--inject-desync] [--json-only] [--out F]
@@ -503,8 +506,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if "sim_wall_s" in results:
         print(
             f"simulation: {results['sim_days']:g} days in "
-            f"{results['sim_wall_s']:.1f} s ({results['sim_events']} events)"
+            f"{results['sim_wall_s']:.1f} s ({results['sim_events']} events, "
+            f"{results['sim_scrape_speedup_vs_legacy']:.2f}x vs legacy "
+            f"scrape path, paths identical: "
+            f"{results['sim_paths_identical']})"
         )
+        if args.profile:
+            profile = results.get("sim_profile", {})
+            accounted = sum(profile.values())
+            print("simulation stage profile (columnar scrape path):")
+            for stage_name in (
+                "demand_eval", "exporter_format", "ingest", "scheduler", "drs"
+            ):
+                if stage_name in profile:
+                    print(f"  {stage_name:<16} {profile[stage_name]:>9.3f} s")
+            other = results["sim_wall_s"] - accounted
+            print(f"  {'(other)':<16} {other:>9.3f} s")
+            print(
+                f"  scrape throughput: "
+                f"{results['sim_scrape_samples_per_s']:,.0f} samples/s"
+            )
+    elif args.profile:
+        print("(--profile: sim stage not run, no stage profile)", file=sys.stderr)
     if "sweep_scenarios_per_hour_nw" in results:
         print(
             f"sweep:    {results['sweep_cells']} cells — "
@@ -517,7 +540,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"peak RSS: {results['peak_rss_kb']:,} KB")
     print(f"Wrote {args.out}")
     if args.check:
-        problems = check_results(payload)
+        notes: list[str] = []
+        problems = check_results(payload, notes=notes)
+        for note in notes:
+            print(f"CHECK NOTE: {note}", file=sys.stderr)
         for problem in problems:
             print(f"CHECK FAILED: {problem}", file=sys.stderr)
         if problems:
@@ -860,6 +886,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--days", type=float, default=None,
         help="override the simulation stage's duration in days",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="print the simulation stage breakdown (demand_eval, "
+        "exporter_format, ingest, scheduler, drs) after the run",
     )
     bench.add_argument("--out", default="BENCH_scale.json",
                        help="where to write the result JSON")

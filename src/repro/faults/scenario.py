@@ -36,6 +36,9 @@ class ScenarioConfig:
     scrape_interval_s: float = 900.0
     drs_interval_s: float = 3600.0
     faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Scrape implementation ("columnar" or "legacy"); forwarded to
+    #: SimulationConfig so the verify harness can run both differentially.
+    scrape_path: str = "columnar"
 
     def __post_init__(self) -> None:
         if self.building_blocks < 1 or self.nodes_per_bb < 1:
@@ -76,6 +79,7 @@ def run_fault_scenario(config: ScenarioConfig | None = None) -> SimulationResult
             initial_vms=config.initial_vms,
             seed=config.seed,
             faults=config.faults,
+            scrape_path=config.scrape_path,
         ),
     )
     return sim.run()

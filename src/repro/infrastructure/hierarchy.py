@@ -53,6 +53,16 @@ class ComputeNode:
     #: flap (fail/recover oscillation).  A quarantined node keeps its
     #: resident VMs but accepts no new placements until re-admitted.
     quarantined: bool = False
+    #: Bumped by add_vm/remove_vm; part of the allocated() cache guard.
+    _vm_epoch: int = field(default=0, init=False, repr=False, compare=False)
+    #: (vm_epoch, vms-dict ref, len, Capacity) of the last allocated() sum,
+    #: or None.  The dict-identity + length guards catch mutations that
+    #: bypass add_vm/remove_vm (e.g. the verify harness forking ``vms`` to
+    #: inject a ghost VM), so a stale sum can never be served to a caller
+    #: that would otherwise re-count the registry.
+    _alloc_cache: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __setattr__(self, name: str, value) -> None:
         # Flipping a health flag must invalidate any scheduler-side cache;
@@ -68,10 +78,23 @@ class ComputeNode:
         return not self.maintenance and not self.failed and not self.quarantined
 
     def allocated(self) -> Capacity:
-        """Sum of resources requested by resident VMs."""
+        """Sum of resources requested by resident VMs (cached between
+        mutations; any add/remove or registry swap recomputes)."""
+        vms = self.vms
+        cache = self._alloc_cache
+        if (
+            cache is not None
+            and cache[0] == self._vm_epoch
+            and cache[1] is vms
+            and cache[2] == len(vms)
+        ):
+            return cache[3]
         total = Capacity()
-        for vm in self.vms.values():
+        for vm in vms.values():
             total = total + vm.requested()
+        object.__setattr__(
+            self, "_alloc_cache", (self._vm_epoch, vms, len(vms), total)
+        )
         return total
 
     def free(self, policy: OvercommitPolicy) -> Capacity:
@@ -90,6 +113,7 @@ class ComputeNode:
             raise ValueError(f"VM {vm.vm_id} already on node {self.node_id}")
         self.vms[vm.vm_id] = vm
         vm.node_id = self.node_id
+        object.__setattr__(self, "_vm_epoch", self._vm_epoch + 1)
         _bump_node_epoch()
 
     def remove_vm(self, vm_id: str) -> VM:
@@ -99,6 +123,7 @@ class ComputeNode:
         except KeyError:
             raise KeyError(f"VM {vm_id} not on node {self.node_id}") from None
         vm.node_id = None
+        object.__setattr__(self, "_vm_epoch", self._vm_epoch + 1)
         _bump_node_epoch()
         return vm
 
@@ -125,6 +150,11 @@ class BuildingBlock:
     aggregate_class: str = ""
     #: Placement policy applied inside/onto this BB: "spread" or "pack".
     policy: str = "spread"
+    #: (nodes-dict ref, len, Capacity) memo of physical(); node hardware is
+    #: immutable, so the sum only changes when the member set does.
+    _physical_cache: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def add_node(self, node: ComputeNode) -> None:
         """Add a member node, stamping its BB/DC/AZ identifiers."""
@@ -144,10 +174,16 @@ class BuildingBlock:
         return len(self.nodes)
 
     def physical(self) -> Capacity:
-        """Total physical capacity across member nodes."""
+        """Total physical capacity across member nodes (memoised; any
+        change to the member set recomputes)."""
+        nodes = self.nodes
+        cache = self._physical_cache
+        if cache is not None and cache[0] is nodes and cache[1] == len(nodes):
+            return cache[2]
         total = Capacity()
-        for node in self.nodes.values():
+        for node in nodes.values():
             total = total + node.physical
+        self._physical_cache = (nodes, len(nodes), total)
         return total
 
     def allocated(self) -> Capacity:

@@ -34,6 +34,10 @@ class SimulationEngine:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._handlers: dict[str, Handler] = {}
+        #: Per-kind index of queued events (seq → event), maintained by
+        #: schedule/step so iter_pending(kind) is O(pending of that kind)
+        #: instead of a full-queue scan — runner/faults poll it every tick.
+        self._pending_by_kind: dict[str, dict[int, Event]] = {}
         self.now = start_time
         self.processed = 0
         #: Optional write-ahead hook: called with a JSON-able record for
@@ -65,6 +69,10 @@ class SimulationEngine:
             )
         event = Event(time=time, seq=next(self._seq), kind=kind, payload=payload)
         heapq.heappush(self._queue, event)
+        index = self._pending_by_kind.get(kind)
+        if index is None:
+            index = self._pending_by_kind[kind] = {}
+        index[event.seq] = event
         return event
 
     def peek_time(self) -> float | None:
@@ -80,13 +88,15 @@ class SimulationEngine:
         """
         if kind is None:
             return list(self._queue)
-        return [e for e in self._queue if e.kind == kind]
+        index = self._pending_by_kind.get(kind)
+        return list(index.values()) if index else []
 
     def step(self) -> Event | None:
         """Process one event; returns it, or None when the queue is empty."""
         if not self._queue:
             return None
         event = heapq.heappop(self._queue)
+        del self._pending_by_kind[event.kind][event.seq]
         self.now = event.time
         handler = self._handlers.get(event.kind)
         if handler is None:

@@ -20,7 +20,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.infrastructure.hierarchy import ComputeNode, Region
-from repro.telemetry.store import Sample, SampleBlock
+from repro.telemetry.store import MetricStore, Sample, SampleBlock, SeriesHandle
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,8 +53,64 @@ def _node_labels(node: ComputeNode) -> dict[str, str]:
     }
 
 
+#: Host-level vROps metrics in emission order (the order ``scrape_node``
+#: lists them, hence the order their series appear in the store).
+_NODE_METRICS = (
+    "vrops_hostsystem_cpu_core_utilization_percentage",
+    "vrops_hostsystem_cpu_contention_percentage",
+    "vrops_hostsystem_cpu_ready_milliseconds",
+    "vrops_hostsystem_memory_usage_percentage",
+    "vrops_hostsystem_network_bytes_tx_kbps",
+    "vrops_hostsystem_network_bytes_rx_kbps",
+    "vrops_hostsystem_diskspace_usage_gigabytes",
+)
+
+
 class VropsExporter:
-    """Emits ``vrops_*`` samples for nodes and VMs."""
+    """Emits ``vrops_*`` samples for nodes and VMs.
+
+    :meth:`emit_node` is the interned fast path: the metric-name +
+    label-tuple → series resolution happens once per node (lazily, at the
+    node's first emission, preserving the series creation order of the
+    per-sample path), after which each scrape is seven column appends.
+    """
+
+    def __init__(self) -> None:
+        self._handle_store: MetricStore | None = None
+        self._node_handles: dict[str, tuple[SeriesHandle, ...]] = {}
+
+    def emit_node(
+        self,
+        store: MetricStore,
+        node: ComputeNode,
+        usage: NodeUsage,
+        timestamp: float,
+    ) -> int:
+        """Append one node's host-level samples directly into ``store``.
+
+        Same metrics, labels, and values as :meth:`scrape_node` +
+        ``store.ingest`` — stale scrapes pass NaN fractions through the
+        identical expressions — with zero per-sample objects.  Returns the
+        number of samples appended.
+        """
+        if store is not self._handle_store:
+            self._handle_store = store
+            self._node_handles = {}
+        handles = self._node_handles.get(node.node_id)
+        if handles is None:
+            labels = tuple(sorted(_node_labels(node).items()))
+            handles = self._node_handles[node.node_id] = tuple(
+                store.series_handle(metric, labels) for metric in _NODE_METRICS
+            )
+        h_cpu, h_cont, h_ready, h_mem, h_tx, h_rx, h_disk = handles
+        h_cpu.append(timestamp, 100.0 * usage.cpu_used_fraction)
+        h_cont.append(timestamp, 100.0 * usage.cpu_contention_fraction)
+        h_ready.append(timestamp, usage.cpu_ready_ms)
+        h_mem.append(timestamp, 100.0 * usage.memory_used_fraction)
+        h_tx.append(timestamp, usage.network_tx_kbps)
+        h_rx.append(timestamp, usage.network_rx_kbps)
+        h_disk.append(timestamp, usage.disk_used_gb)
+        return 7
 
     def scrape_node(
         self, node: ComputeNode, usage: NodeUsage, timestamp: float
@@ -163,7 +219,77 @@ class NovaExporter:
     here they are read off the region's allocation bookkeeping.  Note that
     in the SAP deployment the Nova "compute host" is a whole building block,
     so the gauges are published per BB.
+
+    :meth:`emit_region` is the interned fast path: per-BB labels, series
+    handles, and the static allocatable capacities are resolved once (the
+    topology does not change mid-run), so each scrape reads only the live
+    allocation state.
     """
+
+    def __init__(self) -> None:
+        self._handle_store: MetricStore | None = None
+        #: (bb, allocatable_vcpus, allocatable_memory_mb, 4 gauge handles)
+        self._bb_entries: list[tuple] = []
+        self._total_handle: SeriesHandle | None = None
+
+    def emit_region(
+        self, store: MetricStore, region: Region, timestamp: float
+    ) -> int:
+        """Append one region scrape directly into ``store``.
+
+        Identical samples (metrics, labels, values, order) to
+        :meth:`scrape_region` + ``store.ingest``; returns the count.
+        """
+        if store is not self._handle_store or self._total_handle is None:
+            self._handle_store = store
+            entries: list[tuple] = []
+            for bb in region.iter_building_blocks():
+                labels = tuple(
+                    sorted(
+                        {
+                            "compute_host": bb.bb_id,
+                            "datacenter": bb.datacenter,
+                            "availability_zone": bb.az,
+                        }.items()
+                    )
+                )
+                allocatable = bb.overcommit.allocatable(bb.physical())
+                entries.append(
+                    (
+                        bb,
+                        allocatable.vcpus,
+                        allocatable.memory_mb,
+                        store.series_handle(
+                            "openstack_compute_nodes_vcpus_gauge", labels
+                        ),
+                        store.series_handle(
+                            "openstack_compute_nodes_vcpus_used_gauge", labels
+                        ),
+                        store.series_handle(
+                            "openstack_compute_nodes_memory_mb_gauge", labels
+                        ),
+                        store.series_handle(
+                            "openstack_compute_nodes_memory_mb_used_gauge", labels
+                        ),
+                    )
+                )
+            self._bb_entries = entries
+            self._total_handle = store.series_handle(
+                "openstack_compute_instances_total",
+                (("region", region.region_id),),
+            )
+        total_vms = 0
+        n = 1
+        for bb, alloc_vcpus, alloc_mem, h_v, h_vu, h_m, h_mu in self._bb_entries:
+            allocated = bb.allocated()
+            total_vms += bb.vm_count
+            h_v.append(timestamp, alloc_vcpus)
+            h_vu.append(timestamp, allocated.vcpus)
+            h_m.append(timestamp, alloc_mem)
+            h_mu.append(timestamp, allocated.memory_mb)
+            n += 4
+        self._total_handle.append(timestamp, float(total_vms))
+        return n
 
     def scrape_region(self, region: Region, timestamp: float) -> list[Sample]:
         """All openstack_compute samples for one scrape of the region."""

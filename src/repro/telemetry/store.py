@@ -20,6 +20,7 @@ a deprecated shim for one release.
 
 from __future__ import annotations
 
+import hashlib
 import warnings
 from array import array
 from collections import OrderedDict
@@ -112,6 +113,30 @@ class _SeriesBuffer:
         return len(self._ts)
 
 
+class SeriesHandle:
+    """Pre-resolved append cursor for one series.
+
+    Exporters that emit the same (metric, labels) pair every scrape resolve
+    the series once via :meth:`MetricStore.series_handle` and then append
+    through the handle — no label normalisation, no dict lookup, no
+    :class:`Sample` object per observation.  Appends are indistinguishable
+    from :meth:`MetricStore.append` (same buffer, same finalisation
+    invalidation).
+    """
+
+    __slots__ = ("_buf", "_ts", "_vs")
+
+    def __init__(self, buf: _SeriesBuffer) -> None:
+        self._buf = buf
+        self._ts = buf._ts
+        self._vs = buf._vs
+
+    def append(self, timestamp: float, value: float) -> None:
+        self._ts.append(timestamp)
+        self._vs.append(value)
+        self._buf._finalized = None
+
+
 class MetricStore:
     """In-memory time-series database keyed by (metric name, labels)."""
 
@@ -140,6 +165,35 @@ class MetricStore:
         if buf is None:
             buf = self._series[key] = _SeriesBuffer()
         return buf
+
+    def series_handle(
+        self, metric: str, labels: dict[str, str] | Labels | None
+    ) -> SeriesHandle:
+        """Intern (metric, labels) into an append cursor.
+
+        Creates the series if absent — callers that must reproduce a
+        per-sample ingest byte-for-byte should therefore resolve handles
+        in the same order that path would first touch each series, because
+        insertion order is observable via :meth:`select` /
+        :meth:`aggregate_across` and :meth:`content_fingerprint`.
+        """
+        return SeriesHandle(self._buffer(metric, labels))
+
+    def content_fingerprint(self) -> str:
+        """SHA-256 over every series' identity, order, and raw columns.
+
+        Two stores fingerprint equal iff they hold the same series in the
+        same insertion order with bit-identical timestamp/value buffers —
+        the equivalence the columnar scrape path promises against the
+        legacy per-sample path.
+        """
+        h = hashlib.sha256()
+        for (metric, labels), buf in self._series.items():
+            h.update(repr((metric, labels)).encode())
+            h.update(len(buf._ts).to_bytes(8, "little"))
+            h.update(buf._ts.tobytes())
+            h.update(buf._vs.tobytes())
+        return h.hexdigest()
 
     # -- writes ----------------------------------------------------------------
 

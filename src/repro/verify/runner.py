@@ -21,6 +21,10 @@ Checks:
     in-process; any byte difference is nondeterminism.  Replaces the
     former ``scripts/check_fault_determinism.sh`` and
     ``scripts/check_chaos_determinism.sh``.
+``scrape_path``
+    Columnar vs legacy scrape path on a seeded two-day fault scenario:
+    placements, counters, scheduler stats, the fault report, and the
+    telemetry store's content fingerprint must be byte-identical.
 ``sweep``
     Order-independence of the scenario-sweep engine: a micro-grid run
     sequentially, with one worker, and with two workers must merge to
@@ -53,6 +57,7 @@ ALL_CHECKS = (
     "metamorphic",
     "determinism_faults",
     "determinism_chaos",
+    "scrape_path",
     "sweep",
     "goldens",
     "iofaults",
@@ -261,6 +266,71 @@ def _check_determinism_chaos(scenario: VerifyScenario, seed: int) -> CheckOutcom
     )
 
 
+def _check_scrape_path(scenario: VerifyScenario, seed: int) -> CheckOutcome:
+    """Columnar and legacy scrape paths must be observationally identical.
+
+    The seeded fault scenario (stretched to two days so fault windows,
+    DRS rounds, and stale scrapes all occur) is run once per path and
+    rendered to one canonical document covering everything downstream
+    consumers can observe: final placements, lifecycle counters,
+    scheduler stats, the fault report, and the telemetry store's
+    content fingerprint (every timestamp and value byte of every
+    series, in insertion order).
+    """
+    from dataclasses import replace
+
+    from repro.faults.scenario import run_fault_scenario
+
+    base = replace(scenario.fault_scenario(seed), duration_days=2.0)
+
+    def render(scrape_path: str) -> str:
+        result = run_fault_scenario(replace(base, scrape_path=scrape_path))
+        doc = {
+            "placements": {
+                vm_id: vm.node_id for vm_id, vm in sorted(result.vms.items())
+            },
+            "created": result.created,
+            "deleted": result.deleted,
+            "rejected": result.rejected,
+            "resized": result.resized,
+            "drs_migrations": result.drs_migrations,
+            "events_processed": result.events_processed,
+            "scheduler_stats": dict(result.scheduler_stats),
+            "samples": result.store.sample_count(),
+            "store_fingerprint": result.store.content_fingerprint(),
+            "fault_report": json.loads(result.fault_report.to_json()),
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+    columnar = render("columnar")
+    legacy = render("legacy")
+    ok = columnar == legacy
+    diff = ""
+    if not ok:
+        diff = "".join(
+            difflib.unified_diff(
+                legacy.splitlines(keepends=True),
+                columnar.splitlines(keepends=True),
+                fromfile="legacy",
+                tofile="columnar",
+                n=2,
+            )
+        )
+    return CheckOutcome(
+        check="scrape_path",
+        scenario=scenario.name,
+        seed=seed,
+        ok=ok,
+        summary=(
+            "columnar == legacy: placements, counters, fault report, "
+            "store fingerprint byte-identical over 2 days"
+            if ok
+            else "columnar scrape path DIVERGES from legacy"
+        ),
+        diff=diff,
+    )
+
+
 def _check_sweep(scenario: VerifyScenario, seed: int) -> CheckOutcome:
     """The sweep engine's order-independence contract, held by comparison.
 
@@ -404,6 +474,8 @@ def run_verify(config: VerifyConfig, progress=None) -> VerifyReport:
                 if not scenario.include_chaos:
                     continue
                 outcomes.append(_check_determinism_chaos(scenario, seed))
+            elif check == "scrape_path":
+                outcomes.append(_check_scrape_path(scenario, seed))
             elif check == "sweep":
                 outcomes.append(_check_sweep(scenario, seed))
             elif check == "goldens":

@@ -6,6 +6,15 @@ additively to build realistic shapes: business-hours diurnal cycles with a
 weekday/weekend effect (visible in the paper's Fig 8 ready-time series),
 CI/CD burstiness, slow ramps (the paper observes nodes with consistently
 increasing CPU demand, §5.1), and spike trains.
+
+Every factory attaches a structured ``basis`` attribute to the closure it
+returns — a tuple naming the pattern kind and its parameters.  The
+simulation's scalar fast path (:mod:`repro.workloads.waveform`) compiles
+these descriptions into per-VM evaluators and waveform tables instead of
+calling the vectorised closures once per VM per tick; closures without a
+``basis`` (hand-written lambdas in tests) simply fall back to the closure
+call.  The metadata is descriptive only: evaluation behaviour and RNG
+consumption of the closures themselves are unchanged.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ def constant(level: float) -> DemandPattern:
     def pattern(ts: np.ndarray) -> np.ndarray:
         return np.full(len(ts), level)
 
+    pattern.basis = ("constant", level)
     return pattern
 
 
@@ -53,6 +63,7 @@ def diurnal(
         bump = np.exp(-0.5 * (dist / width_hours) ** 2)
         return base + (peak - base) * bump
 
+    pattern.basis = ("diurnal", base, peak, peak_hour, width_hours)
     return pattern
 
 
@@ -66,6 +77,7 @@ def weekly(weekday_scale: float = 1.0, weekend_scale: float = 0.6) -> DemandPatt
         day_index = (np.floor(ts / SECONDS_PER_DAY).astype(int) + 3) % 7  # 0 = Monday
         return np.where(day_index >= 5, weekend_scale, weekday_scale)
 
+    pattern.basis = ("weekly", weekday_scale, weekend_scale)
     return pattern
 
 
@@ -84,6 +96,7 @@ def ramp(start_level: float, end_level: float, duration: float) -> DemandPattern
         progress = np.clip((ts - ts[0]) / duration, 0.0, 1.0)
         return start_level + (end_level - start_level) * progress
 
+    pattern.basis = ("ramp", start_level, end_level, duration)
     return pattern
 
 
@@ -108,6 +121,8 @@ def bursty(
         mask = np.repeat(draws, correlation)[: len(ts)]
         return np.where(mask, burst_level, base)
 
+    pattern.basis = ("bursty", base, burst_level, burst_probability, correlation)
+    pattern.rng = rng
     return pattern
 
 
@@ -126,6 +141,7 @@ def spike_train(
         in_spike = ((ts + phase) % period) < spike_width
         return np.where(in_spike, spike_level, base)
 
+    pattern.basis = ("spike", base, spike_level, period, spike_width, phase)
     return pattern
 
 
@@ -147,6 +163,12 @@ def composite(
             return np.clip(stacked.sum(axis=0), 0.0, 1.0)
         return stacked.prod(axis=0)
 
+    pattern.basis = (
+        "composite",
+        mode,
+        tuple(getattr(p, "basis", None) for p in patterns),
+    )
+    pattern.children = tuple(patterns)
     return pattern
 
 
@@ -160,4 +182,8 @@ def with_noise(
     def noisy(ts: np.ndarray) -> np.ndarray:
         return np.clip(pattern(ts) + rng.normal(0.0, sigma, len(ts)), 0.0, 1.0)
 
+    noisy.inner = pattern
+    noisy.sigma = sigma
+    noisy.rng = rng
+    noisy.basis = ("noise", sigma, getattr(pattern, "basis", None))
     return noisy

@@ -119,6 +119,68 @@ class TestCheckResults:
         assert "schedule_speedup_vs_legacy" in problems[0]
 
 
+class TestScrapePathGates:
+    @staticmethod
+    def _base_results() -> dict:
+        results = {key: 1.0 for key in REQUIRED_KEYS}
+        results["placements_identical"] = True
+        results.update({key: minimum for key, minimum in CHECK_BOUNDS})
+        return results
+
+    def test_sim_bounds_skipped_when_sim_not_run(self):
+        results = self._base_results()
+        results["sim_scrape_speedup_vs_legacy"] = 0.1  # would fail if enforced
+        notes: list[str] = []
+        problems = check_results({"results": results}, notes=notes)
+        assert problems == []
+        assert any("sim_scrape_speedup_vs_legacy" in n for n in notes)
+
+    def test_sim_speedup_bound_enforced_when_sim_ran(self):
+        results = self._base_results()
+        results["sim_wall_s"] = 10.0
+        results["sim_paths_identical"] = True
+        results["sim_scrape_speedup_vs_legacy"] = 1.5
+        problems = check_results({"results": results})
+        assert len(problems) == 1
+        assert "sim_scrape_speedup_vs_legacy" in problems[0]
+        assert "below required" in problems[0]
+
+    def test_scrape_path_divergence_reported(self):
+        results = self._base_results()
+        results["sim_wall_s"] = 10.0
+        results["sim_paths_identical"] = False
+        problems = check_results({"results": results})
+        assert problems == ["columnar and legacy scrape paths diverged"]
+
+    def test_sweep_ratio_assert_skipped_on_one_cpu(self):
+        results = self._base_results()
+        results["sweep_scenarios_per_hour_1w"] = 100.0
+        results["sweep_scenarios_per_hour_nw"] = 50.0  # slower with workers
+        results["sweep_cpu_count"] = 1
+        notes: list[str] = []
+        problems = check_results({"results": results}, notes=notes)
+        assert problems == []
+        assert any("sweep" in n and "skipped" in n for n in notes)
+
+    def test_sweep_ratio_assert_enforced_on_multicore(self):
+        results = self._base_results()
+        results["sweep_scenarios_per_hour_1w"] = 100.0
+        results["sweep_scenarios_per_hour_nw"] = 50.0
+        results["sweep_cpu_count"] = 4
+        problems = check_results({"results": results})
+        assert len(problems) == 1
+        assert "below required" in problems[0]
+        assert "sweep_scenarios_per_hour_nw" in problems[0]
+
+    def test_notes_optional(self):
+        # Callers that don't pass `notes` must not crash on the skip paths.
+        results = self._base_results()
+        results["sweep_scenarios_per_hour_1w"] = 100.0
+        results["sweep_scenarios_per_hour_nw"] = 50.0
+        results["sweep_cpu_count"] = 1
+        assert check_results({"results": results}) == []
+
+
 class TestSweepStage:
     def test_sweep_results_in_payload(self, payload):
         results = payload["results"]

@@ -129,3 +129,66 @@ def test_processed_counter():
         engine.schedule(t, "e")
     engine.run()
     assert engine.processed == 5
+
+
+def test_iter_pending_filters_by_kind():
+    engine = SimulationEngine()
+    for kind in ("a", "b", "c"):
+        engine.on(kind, lambda eng, ev: None)
+    for kind in ("a", "b", "a", "c"):
+        engine.schedule(1.0, kind)
+    assert {e.kind for e in engine.iter_pending()} == {"a", "b", "c"}
+    assert len(engine.iter_pending("a")) == 2
+    assert len(engine.iter_pending("b")) == 1
+    assert engine.iter_pending("missing") == []
+
+
+def test_iter_pending_index_tracks_dispatch():
+    """The per-kind index must shed events as they are processed, so a
+    mid-run snapshot only shows genuinely queued events."""
+    engine = SimulationEngine()
+    engine.on("tick", lambda eng, ev: None)
+    engine.on("other", lambda eng, ev: None)
+    for t in range(4):
+        engine.schedule(float(t), "tick")
+    engine.schedule(10.0, "other")
+
+    engine.run_until(1.0)
+    remaining = engine.iter_pending("tick")
+    assert sorted(e.time for e in remaining) == [2.0, 3.0]
+    assert len(engine.iter_pending("other")) == 1
+
+    engine.run()
+    assert engine.iter_pending("tick") == []
+    assert engine.iter_pending("other") == []
+    assert engine.iter_pending() == []
+
+
+def test_iter_pending_sees_events_scheduled_by_handlers():
+    engine = SimulationEngine()
+    seen: list[int] = []
+
+    def tick(eng, ev):
+        seen.append(len(eng.iter_pending("tick")))
+        if ev.time < 2.0:
+            eng.schedule(ev.time + 1.0, "tick")
+
+    engine.on("tick", tick)
+    engine.schedule(0.0, "tick")
+    engine.run()
+    # Inside each handler the popped event is gone; the follow-up appears
+    # as soon as the handler schedules it.
+    assert seen == [0, 0, 0]
+
+
+def test_iter_pending_matches_full_queue_snapshot():
+    engine = SimulationEngine()
+    for kind in ("x", "y"):
+        engine.on(kind, lambda eng, ev: None)
+    for t in range(6):
+        engine.schedule(float(t), "x" if t % 2 else "y")
+    engine.run_until(2.0)
+    by_kind = {e.seq for e in engine.iter_pending("x")} | {
+        e.seq for e in engine.iter_pending("y")
+    }
+    assert by_kind == {e.seq for e in engine.iter_pending()}

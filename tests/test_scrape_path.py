@@ -1,0 +1,234 @@
+"""Byte-identity of the columnar scrape fast-path.
+
+The columnar path (series handles + compiled waveforms, zero Sample
+objects) must be observationally indistinguishable from the legacy
+per-sample path: same placements, same counters, same telemetry bytes.
+`repro verify --check scrape_path` holds this on the canned scenarios;
+these tests hold the building blocks (SeriesHandle, content_fingerprint,
+emit_node/emit_region vs scrape_node/scrape_region) and an end-to-end
+faulted run small enough for the unit suite.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.faults.config import FaultConfig
+from repro.faults.scenario import ScenarioConfig, run_fault_scenario
+from repro.infrastructure.flavors import Flavor
+from repro.infrastructure.vm import VM
+from repro.simulation.runner import SimulationConfig
+from repro.telemetry.exporters import NodeUsage, NovaExporter, VropsExporter
+from repro.telemetry.store import MetricStore
+from tests.conftest import make_node
+
+
+@pytest.fixture
+def usage() -> NodeUsage:
+    return NodeUsage(
+        cpu_used_fraction=0.5,
+        memory_used_fraction=0.25,
+        network_tx_kbps=1000.0,
+        network_rx_kbps=800.0,
+        disk_used_gb=100.0,
+        cpu_ready_ms=30_000.0,
+        cpu_contention_fraction=0.1,
+    )
+
+
+class TestSeriesHandle:
+    def test_append_visible_through_query(self):
+        store = MetricStore()
+        handle = store.series_handle("m", {"host": "n1"})
+        handle.append(0.0, 1.0)
+        handle.append(60.0, 2.0)
+        series = store.query("m", {"host": "n1"})
+        assert list(series.timestamps) == [0.0, 60.0]
+        assert list(series.values) == [1.0, 2.0]
+
+    def test_handle_and_ingest_share_one_series(self):
+        from repro.telemetry.exporters import Sample
+
+        store = MetricStore()
+        handle = store.series_handle("m", {"host": "n1"})
+        handle.append(0.0, 1.0)
+        store.ingest([Sample("m", {"host": "n1"}, 60.0, 2.0)])
+        assert store.sample_count() == 2
+        assert list(store.query("m", {"host": "n1"}).values) == [1.0, 2.0]
+
+    def test_fingerprint_tracks_content_not_construction(self):
+        def build(via_handle: bool) -> str:
+            store = MetricStore()
+            if via_handle:
+                h = store.series_handle("m", {"a": "1"})
+                for i in range(5):
+                    h.append(float(i), float(i) * 2.0)
+            else:
+                from repro.telemetry.exporters import Sample
+
+                store.ingest(
+                    [
+                        Sample("m", {"a": "1"}, float(i), float(i) * 2.0)
+                        for i in range(5)
+                    ]
+                )
+            return store.content_fingerprint()
+
+        assert build(True) == build(False)
+
+    def test_fingerprint_differs_on_any_value_change(self):
+        stores = []
+        for value in (1.0, 1.0 + 2**-40):
+            store = MetricStore()
+            store.series_handle("m", {}).append(0.0, value)
+            stores.append(store.content_fingerprint())
+        assert stores[0] != stores[1]
+
+
+class TestEmitParity:
+    def test_emit_node_matches_scrape_node_ingest(self, usage):
+        node = make_node("n1")
+        node.building_block = "bb1"
+        node.datacenter = "dc1"
+        node.az = "az1"
+
+        legacy = MetricStore()
+        legacy.ingest(VropsExporter().scrape_node(node, usage, 60.0))
+
+        columnar = MetricStore()
+        emitted = VropsExporter().emit_node(columnar, node, usage, 60.0)
+
+        assert emitted == legacy.sample_count() == 7
+        assert columnar.content_fingerprint() == legacy.content_fingerprint()
+
+    def test_emit_region_matches_scrape_region_ingest(self, tiny_region):
+        bb = tiny_region.find_building_block("dc1-gp-00")
+        node = next(bb.iter_nodes())
+        node.add_vm(VM(vm_id="v1", flavor=Flavor("f", vcpus=8, ram_gib=32)))
+
+        legacy = MetricStore()
+        legacy.ingest(NovaExporter().scrape_region(tiny_region, 0.0))
+
+        columnar = MetricStore()
+        emitted = NovaExporter().emit_region(columnar, tiny_region, 0.0)
+
+        assert emitted == legacy.sample_count()
+        assert columnar.content_fingerprint() == legacy.content_fingerprint()
+
+    def test_emit_region_tracks_allocation_changes(self, tiny_region):
+        bb = tiny_region.find_building_block("dc1-gp-00")
+        node = next(bb.iter_nodes())
+        store = MetricStore()
+        exporter = NovaExporter()
+        exporter.emit_region(store, tiny_region, 0.0)
+        node.add_vm(VM(vm_id="v1", flavor=Flavor("f", vcpus=8, ram_gib=32)))
+        exporter.emit_region(store, tiny_region, 60.0)
+
+        used = store.query(
+            "openstack_compute_nodes_vcpus_used_gauge",
+            {
+                "compute_host": "dc1-gp-00",
+                "datacenter": "dc1",
+                "availability_zone": "az1",
+            },
+        )
+        assert list(used.values) == [0.0, 8.0]
+        total = store.query(
+            "openstack_compute_instances_total", {"region": "test-region"}
+        )
+        assert list(total.values) == [0.0, 1.0]
+
+
+class TestEndToEndScrapePath:
+    def _run(self, scrape_path: str):
+        config = ScenarioConfig(
+            building_blocks=2,
+            nodes_per_bb=3,
+            duration_days=0.25,
+            initial_vms=24,
+            arrival_rate_per_hour=8.0,
+            scrape_interval_s=900.0,
+            faults=FaultConfig(
+                seed=11,
+                host_failure_rate_per_day=12.0,
+                repair_time_mean_s=1800.0,
+                migration_abort_fraction=0.2,
+                scrape_gap_probability=0.05,
+                stale_node_probability=0.05,
+            ),
+            scrape_path=scrape_path,
+        )
+        return run_fault_scenario(config)
+
+    def test_columnar_byte_identical_to_legacy_under_faults(self):
+        fast = self._run("columnar")
+        slow = self._run("legacy")
+        assert {v: vm.node_id for v, vm in fast.vms.items()} == {
+            v: vm.node_id for v, vm in slow.vms.items()
+        }
+        assert (fast.created, fast.deleted, fast.rejected, fast.resized) == (
+            slow.created,
+            slow.deleted,
+            slow.rejected,
+            slow.resized,
+        )
+        assert fast.drs_migrations == slow.drs_migrations
+        assert fast.events_processed == slow.events_processed
+        assert dict(fast.scheduler_stats) == dict(slow.scheduler_stats)
+        assert fast.store.sample_count() == slow.store.sample_count()
+        assert (
+            fast.store.content_fingerprint() == slow.store.content_fingerprint()
+        )
+        assert fast.fault_report.to_json() == slow.fault_report.to_json()
+
+    def test_unknown_scrape_path_rejected(self):
+        with pytest.raises(ValueError, match="scrape_path"):
+            run_fault_scenario(
+                ScenarioConfig(duration_days=0.01, scrape_path="turbo")
+            )
+
+    def test_profile_stages_accounts_scrape_time(self):
+        config = ScenarioConfig(
+            building_blocks=1,
+            nodes_per_bb=2,
+            duration_days=0.1,
+            initial_vms=8,
+            arrival_rate_per_hour=4.0,
+        )
+        from repro.faults.scenario import scenario_topology
+        from repro.simulation.runner import RegionSimulation
+
+        sim = RegionSimulation(
+            scenario_topology(config),
+            SimulationConfig(
+                duration_days=config.duration_days,
+                initial_vms=config.initial_vms,
+                arrival_rate_per_hour=config.arrival_rate_per_hour,
+                scrape_interval_s=config.scrape_interval_s,
+                profile_stages=True,
+            ),
+        )
+        result = sim.run()
+        profile = result.stage_profile
+        assert profile is not None
+        assert set(profile) == {
+            "demand_eval",
+            "exporter_format",
+            "ingest",
+            "scheduler",
+            "drs",
+        }
+        assert all(v >= 0.0 for v in profile.values())
+        assert profile["demand_eval"] > 0.0
+
+    def test_profile_off_by_default(self):
+        result = run_fault_scenario(
+            replace(
+                ScenarioConfig(),
+                building_blocks=1,
+                nodes_per_bb=2,
+                duration_days=0.05,
+                initial_vms=4,
+            )
+        )
+        assert result.stage_profile is None
